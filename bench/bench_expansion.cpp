@@ -1,0 +1,80 @@
+// E9b (§3.1/§4.5): graph-to-layout expansion scaling — one interface-table
+// access per node — on chains and grids up to 10^5 nodes.
+#include <benchmark/benchmark.h>
+
+#include "graph/expand.hpp"
+
+namespace {
+
+using namespace rsg;
+
+void BM_ExpandChain(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    CellTable cells;
+    Cell& leaf = cells.create("leaf");
+    leaf.add_box(Layer::kMetal1, Box(0, 0, 10, 10));
+    InterfaceTable interfaces;
+    interfaces.declare("leaf", "leaf", 1, Interface{{12, 0}, Orientation::kNorth});
+    ConnectivityGraph graph;
+    GraphNode* previous = nullptr;
+    GraphNode* root = nullptr;
+    for (int i = 0; i < n; ++i) {
+      GraphNode* node = graph.make_instance(&leaf);
+      if (previous != nullptr) {
+        graph.connect(previous, node, 1);
+      } else {
+        root = node;
+      }
+      previous = node;
+    }
+    state.ResumeTiming();
+
+    ExpandStats stats;
+    expand_to_cell(graph, root, "row", interfaces, cells, &stats);
+    benchmark::DoNotOptimize(stats);
+    state.counters["lookups/node"] =
+        static_cast<double>(stats.interface_lookups) / static_cast<double>(stats.nodes_placed);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ExpandChain)->Arg(100)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_ExpandGrid(benchmark::State& state) {
+  const int side = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    CellTable cells;
+    Cell& leaf = cells.create("leaf");
+    leaf.add_box(Layer::kMetal1, Box(0, 0, 10, 10));
+    InterfaceTable interfaces;
+    interfaces.declare("leaf", "leaf", 1, Interface{{12, 0}, Orientation::kNorth});
+    interfaces.declare("leaf", "leaf", 2, Interface{{0, 12}, Orientation::kNorth});
+    ConnectivityGraph graph;
+    std::vector<GraphNode*> previous_row;
+    GraphNode* root = nullptr;
+    for (int y = 0; y < side; ++y) {
+      std::vector<GraphNode*> row;
+      for (int x = 0; x < side; ++x) {
+        GraphNode* node = graph.make_instance(&leaf);
+        if (x > 0) graph.connect(row.back(), node, 1);
+        if (x == 0 && y > 0) graph.connect(previous_row.front(), node, 2);
+        if (root == nullptr) root = node;
+        row.push_back(node);
+      }
+      previous_row = std::move(row);
+    }
+    state.ResumeTiming();
+
+    ExpandStats stats;
+    expand_to_cell(graph, root, "grid", interfaces, cells, &stats);
+    benchmark::DoNotOptimize(stats);
+  }
+  state.SetItemsProcessed(state.iterations() * side * side);
+}
+BENCHMARK(BM_ExpandGrid)->Arg(16)->Arg(64)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+// E6 (Figure 5.2 / Ch. 5): the pipelining-degree exploration. "From a
+// circuit perspective, the optimal degree of pipelining is application and
+// technology dependent, so it is necessary to be able to automatically
+// generate any degree of pipelining."
+//
+// For each β: registers, latency, max combinational depth, and a simple
+// throughput model 1/(β·t_FA + t_reg) — the series behind the thesis's
+// SPICE-based study, regenerated from the functional simulator.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "arch/simulator.hpp"
+
+namespace {
+
+using namespace rsg::arch;
+
+void BM_PipelinedThroughput(benchmark::State& state) {
+  const int size = static_cast<int>(state.range(0));
+  const int beta = static_cast<int>(state.range(1));
+  PipelinedMultiplier mult({size, size}, beta);
+  std::int64_t a = 0x3a21;
+  std::int64_t b = -0x11f7;
+  const std::int64_t mask = (1ll << size) - 1;
+  for (auto _ : state) {
+    const auto out = mult.step(a & mask, b & mask);
+    benchmark::DoNotOptimize(out);
+    a = a * 6364136223846793005ll + 1442695040888963407ll;
+    b = b * 2862933555777941757ll + 3037000493ll;
+  }
+  const auto& config = mult.config();
+  state.counters["stages"] = config.stages();
+  state.counters["latency_cycles"] = mult.latency();
+  state.counters["register_bits"] = config.total_register_bits;
+  state.counters["max_fa_depth"] = max_stage_depth(config);
+  // t_FA = 1, t_reg = 0.5 arbitrary units.
+  state.counters["model_throughput"] = 1.0 / (beta * 1.0 + 0.5);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PipelinedThroughput)
+    ->Args({16, 1})
+    ->Args({16, 2})
+    ->Args({16, 4})
+    ->Args({16, 8})
+    ->Args({32, 1})
+    ->Args({32, 4});
+
+void print_series() {
+  std::printf("== E6 (Figure 5.2): pipelining degree series for a 16x16 multiplier ==\n");
+  std::printf("%-6s %-8s %-9s %-10s %-13s %-12s\n", "beta", "stages", "latency", "reg-bits",
+              "max-FA-depth", "throughput");
+  for (const int beta : {1, 2, 4, 8, 16}) {
+    const RegisterConfiguration config = compute_register_configuration({16, 16}, beta);
+    std::printf("%-6d %-8d %-9d %-10d %-13d %-12.3f\n", beta, config.stages(), config.stages(),
+                config.total_register_bits, max_stage_depth(config), 1.0 / (beta + 0.5));
+  }
+  std::printf("shape check: β=1 (Fig 5.2a, bit-systolic) maximizes registers AND\n");
+  std::printf("throughput; β=2 (Fig 5.2b) halves the register stacks.\n\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_series();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,72 @@
+// E12 (§6.2, Figures 6.1/6.2): the leaf-cell cost function. "λa can be
+// minimized to a greater extent at the cost of increasing λb and vice
+// versa ... the cost function should depend essentially on λa and λb and to
+// a much lesser extent on the physical sizes of the cells themselves."
+//
+// Sweeps the relative replication weights of two coupled pitches and prints
+// the (λ1, λ2) frontier the LP traces out.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "compact/leaf_compactor.hpp"
+
+namespace {
+
+using namespace rsg;
+using namespace rsg::compact;
+
+struct Library {
+  CellTable cells;
+  InterfaceTable interfaces;
+  Library() {
+    Cell& a = cells.create("a");
+    a.add_box(Layer::kMetal1, Box(0, 12, 24, 16));  // top bar (pinned gauge)
+    a.add_box(Layer::kMetal1, Box(10, 0, 40, 4));   // bottom bar, offset free
+    interfaces.declare("a", "a", 1, Interface{{48, -12}, Orientation::kNorth});
+    interfaces.declare("a", "a", 2, Interface{{60, 12}, Orientation::kNorth});
+  }
+};
+
+std::vector<Coord> pitches_for(Library& lib, double w1, double w2) {
+  const std::vector<PitchSpec> specs = {{"a", "a", 1, w1}, {"a", "a", 2, w2}};
+  return compact_leaf_cells(lib.cells, lib.interfaces, {"a"}, specs, CompactionRules::mosis())
+      .pitches;
+}
+
+void BM_WeightedLeafCompaction(benchmark::State& state) {
+  Library lib;
+  const double w1 = static_cast<double>(state.range(0));
+  std::vector<Coord> pitches;
+  for (auto _ : state) {
+    pitches = pitches_for(lib, w1, 1.0);
+    benchmark::DoNotOptimize(pitches.data());
+  }
+  state.counters["lambda1"] = static_cast<double>(pitches[0]);
+  state.counters["lambda2"] = static_cast<double>(pitches[1]);
+}
+BENCHMARK(BM_WeightedLeafCompaction)->Arg(1)->Arg(4)->Arg(100)->Unit(benchmark::kMillisecond);
+
+void print_frontier() {
+  std::printf("== E12 (Figure 6.2): pitch tradeoff frontier ==\n");
+  std::printf("%-14s %-10s %-10s %-16s\n", "w1 : w2", "lambda1", "lambda2", "n*l1 + m*l2");
+  Library lib;
+  const double weights[][2] = {{100, 1}, {10, 1}, {2, 1}, {1, 1}, {1, 2}, {1, 10}, {1, 100}};
+  for (const auto& w : weights) {
+    const auto p = pitches_for(lib, w[0], w[1]);
+    std::printf("%5.0f : %-6.0f %-10lld %-10lld %-16.0f\n", w[0], w[1],
+                static_cast<long long>(p[0]), static_cast<long long>(p[1]),
+                w[0] * static_cast<double>(p[0]) + w[1] * static_cast<double>(p[1]));
+  }
+  std::printf("paper: weighting by expected replication factors steers which pitch\n");
+  std::printf("shrinks; the endpoints differ — neither pitch is free.\n\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_frontier();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

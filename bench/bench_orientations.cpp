@@ -1,0 +1,125 @@
+// E1 + E2 (§2.6, Figure 2.5): the compact (j,k) orientation representation
+// against a general 2x2 matrix representation — composition, inversion and
+// application costs, plus the Figure 2.5 coordinate-mapping table printed
+// for visual comparison with the thesis.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "geom/orientation.hpp"
+
+namespace {
+
+using rsg::Orientation;
+using rsg::Vec;
+
+// The general alternative §2.6 argues against: full 2x2 integer matrices.
+struct MatrixOrientation {
+  int a, b, c, d;
+  MatrixOrientation compose(const MatrixOrientation& o) const {
+    return {a * o.a + c * o.b, b * o.a + d * o.b, a * o.c + c * o.d, b * o.c + d * o.d};
+  }
+  MatrixOrientation inverse() const {
+    const int det = a * d - b * c;  // ±1 for isometries
+    return {d / det, -b / det, -c / det, a / det};
+  }
+  Vec apply(Vec v) const { return {a * v.x + c * v.y, b * v.x + d * v.y}; }
+};
+
+MatrixOrientation to_matrix(Orientation o) {
+  const auto m = o.matrix();
+  return {m.a, m.b, m.c, m.d};
+}
+
+void BM_CompactCompose(benchmark::State& state) {
+  const auto& all = Orientation::all();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const Orientation r = all[i % 8].compose(all[(i / 8) % 8]);
+    benchmark::DoNotOptimize(r);
+    ++i;
+  }
+}
+BENCHMARK(BM_CompactCompose);
+
+void BM_MatrixCompose(benchmark::State& state) {
+  MatrixOrientation ms[8];
+  for (int i = 0; i < 8; ++i) ms[i] = to_matrix(Orientation::from_index(i));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const MatrixOrientation r = ms[i % 8].compose(ms[(i / 8) % 8]);
+    benchmark::DoNotOptimize(r);
+    ++i;
+  }
+}
+BENCHMARK(BM_MatrixCompose);
+
+void BM_CompactInverse(benchmark::State& state) {
+  const auto& all = Orientation::all();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(all[i % 8].inverse());
+    ++i;
+  }
+}
+BENCHMARK(BM_CompactInverse);
+
+void BM_MatrixInverse(benchmark::State& state) {
+  MatrixOrientation ms[8];
+  for (int i = 0; i < 8; ++i) ms[i] = to_matrix(Orientation::from_index(i));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ms[i % 8].inverse());
+    ++i;
+  }
+}
+BENCHMARK(BM_MatrixInverse);
+
+void BM_CompactApply(benchmark::State& state) {
+  const auto& all = Orientation::all();
+  Vec v{123, -77};
+  std::size_t i = 0;
+  for (auto _ : state) {
+    v = all[i % 8].apply(v);
+    benchmark::DoNotOptimize(v);
+    ++i;
+  }
+}
+BENCHMARK(BM_CompactApply);
+
+void BM_MatrixApply(benchmark::State& state) {
+  MatrixOrientation ms[8];
+  for (int i = 0; i < 8; ++i) ms[i] = to_matrix(Orientation::from_index(i));
+  Vec v{123, -77};
+  std::size_t i = 0;
+  for (auto _ : state) {
+    v = ms[i % 8].apply(v);
+    benchmark::DoNotOptimize(v);
+    ++i;
+  }
+}
+BENCHMARK(BM_MatrixApply);
+
+void print_figure_2_5() {
+  std::printf("== E1 (Figure 2.5): coordinate mapping for the 4 basic rotations ==\n");
+  std::printf("%-12s %-14s %-14s\n", "Orientation", "x coordinate", "y coordinate");
+  const char* symbolic[8][2] = {{"x", "y"},   {"-y", "x"},  {"-x", "-y"}, {"y", "-x"},
+                                {"-x", "y"},  {"-y", "-x"}, {"x", "-y"},  {"y", "x"}};
+  for (int i = 0; i < 4; ++i) {
+    const Orientation o = Orientation::from_index(i);
+    std::printf("%-12s %-14s %-14s\n", o.name().c_str(), symbolic[i][0], symbolic[i][1]);
+  }
+  std::printf("(paper lists North(x,y) South(-x,-y) East(y,-x) West(-y,x): matches)\n");
+  std::printf("storage: compact representation %zu bytes, matrix %zu bytes\n\n",
+              sizeof(Orientation), sizeof(MatrixOrientation));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure_2_5();
+  std::printf("== E2 (§2.6): compact (j,k) vs 2x2-matrix representation ==\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,110 @@
+// rsg_cli — the RSG as a command-line tool, mirroring how the original ran
+// on the DEC-2060: three input files in, one layout file out.
+//
+//   rsg_cli <sample> <design> <params> [-o out.cif] [--svg out.svg]
+//           [--top name] [--stats]
+//
+// The sample may be the text format (.sample) or CIF (detected by content).
+#include <cstring>
+#include <fstream>
+#include <iostream>
+
+#include "io/cif_reader.hpp"
+#include "io/cif_writer.hpp"
+#include "io/param_file.hpp"
+#include "io/svg_writer.hpp"
+#include "lang/parser.hpp"
+#include "rsg/generator.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: rsg_cli <sample> <design> <params> [-o out.cif] [--svg out.svg]\n"
+               "               [--top name] [--stats]\n";
+  return 2;
+}
+
+bool looks_like_cif(const std::string& text) {
+  // CIF files start with comments '(' or a DS command.
+  for (const char c : text) {
+    if (std::isspace(static_cast<unsigned char>(c))) continue;
+    return c == '(' || c == 'D';
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 4) return usage();
+  std::string out_cif;
+  std::string out_svg;
+  std::string top;
+  bool stats = false;
+  for (int i = 4; i < argc; ++i) {
+    if (std::strcmp(argv[i], "-o") == 0 && i + 1 < argc) {
+      out_cif = argv[++i];
+    } else if (std::strcmp(argv[i], "--svg") == 0 && i + 1 < argc) {
+      out_svg = argv[++i];
+    } else if (std::strcmp(argv[i], "--top") == 0 && i + 1 < argc) {
+      top = argv[++i];
+    } else if (std::strcmp(argv[i], "--stats") == 0) {
+      stats = true;
+    } else {
+      return usage();
+    }
+  }
+
+  try {
+    const std::string sample_text = rsg::read_text_file(argv[1]);
+    const std::string design_text = rsg::read_text_file(argv[2]);
+    const std::string param_text = rsg::read_text_file(argv[3]);
+
+    rsg::Generator generator;
+    rsg::GeneratorResult result;
+    if (looks_like_cif(sample_text)) {
+      // Route the sample through the CIF front end, then run the rest of
+      // the pipeline manually (Generator::run assumes the text format).
+      rsg::load_sample_layout_cif(sample_text, generator.cells(), generator.interfaces());
+      const rsg::ParameterFile params = rsg::ParameterFile::parse(param_text);
+      rsg::lang::Interpreter interp(generator.cells(), generator.interfaces(),
+                                    generator.graph());
+      params.apply(interp);
+      interp.run(rsg::lang::parse_program(design_text));
+      std::string top_name = top;
+      if (top_name.empty()) {
+        if (const std::string* directive = params.directive("top_cell")) top_name = *directive;
+      }
+      if (top_name.empty()) top_name = generator.cells().names_in_order().back();
+      result.top = &generator.cells().get(top_name);
+      result.output = rsg::cif_to_string(*result.top);
+    } else {
+      result = generator.run(sample_text, design_text, param_text, top);
+    }
+
+    if (!out_cif.empty()) {
+      std::ofstream out(out_cif);
+      out << result.output;
+      std::cout << "wrote " << out_cif << "\n";
+    } else {
+      std::cout << result.output;
+    }
+    if (!out_svg.empty()) {
+      rsg::write_svg_file(out_svg, *result.top);
+      std::cout << "wrote " << out_svg << "\n";
+    }
+    if (stats) {
+      std::cerr << "top cell:       " << result.top->name() << "\n";
+      std::cerr << "flat instances: " << result.top->flattened_instance_count() << "\n";
+      std::cerr << "flat boxes:     " << result.top->flattened_box_count() << "\n";
+      std::cerr << "bounding box:   " << result.top->bounding_box() << "\n";
+      std::cerr << "phases (s):     " << result.times.read_sample.count() << " / "
+                << result.times.execute_design.count() << " / "
+                << result.times.write_output.count() << "\n";
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "rsg_cli: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

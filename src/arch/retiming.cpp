@@ -1,0 +1,66 @@
+#include "arch/retiming.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace rsg::arch {
+
+RegisterConfiguration compute_register_configuration(const MultiplierSpec& spec, int beta) {
+  if (spec.m < 2 || spec.n < 2) throw Error("retiming: multiplier must be at least 2x2");
+  if (beta < 1) throw Error("retiming: pipelining degree must be >= 1");
+
+  RegisterConfiguration config;
+  config.beta = beta;
+  const int width = spec.m + spec.n;
+
+  for (int row = 0; row < spec.n; row += beta) config.row_cuts.push_back(row);
+  config.row_cuts.push_back(spec.n);
+  config.carry_save_stages = static_cast<int>(config.row_cuts.size()) - 1;
+
+  for (int pos = 0; pos < width; pos += beta) config.cpa_cuts.push_back(pos);
+  config.cpa_cuts.push_back(width);
+  config.carry_propagate_stages = static_cast<int>(config.cpa_cuts.size()) - 1;
+
+  // Register bits at each boundary. Before carry-save stage k (rows >=
+  // row_cuts[k] still pending): the full multiplicand (m bits), the pending
+  // multiplier rows (n - row_cuts[k] bits), and — after the first stage —
+  // the carry-save state (2 * width bits). During the CPA, operands are
+  // dead; the state is the remaining sum+carry, the ripple carry, and the
+  // already-produced low result bits (width + 1 bits total).
+  for (int k = 0; k < config.carry_save_stages; ++k) {
+    const int pending_rows = spec.n - config.row_cuts[static_cast<std::size_t>(k)];
+    const int state = (k == 0) ? 0 : 2 * width;
+    config.boundary_register_bits.push_back(spec.m + pending_rows + state);
+  }
+  for (int k = 0; k < config.carry_propagate_stages; ++k) {
+    const int done = config.cpa_cuts[static_cast<std::size_t>(k)];
+    const int remaining = 2 * (width - done);  // sum+carry not yet consumed
+    config.boundary_register_bits.push_back(remaining + done + 1);
+  }
+  config.total_register_bits = 0;
+  for (const int bits : config.boundary_register_bits) config.total_register_bits += bits;
+
+  // Input skew: operand a's column j is consumed by every row, starting at
+  // row 0 — so a-bits enter at stage 0 but must persist; b's row i is
+  // consumed in stage i/beta, so bit i needs that many delay registers.
+  config.input_skew_a.assign(static_cast<std::size_t>(spec.m), 0);
+  config.input_skew_b.resize(static_cast<std::size_t>(spec.n));
+  for (int i = 0; i < spec.n; ++i) {
+    config.input_skew_b[static_cast<std::size_t>(i)] = i / beta;
+  }
+  return config;
+}
+
+int max_stage_depth(const RegisterConfiguration& config) {
+  int depth = 0;
+  for (std::size_t k = 0; k + 1 < config.row_cuts.size(); ++k) {
+    depth = std::max(depth, config.row_cuts[k + 1] - config.row_cuts[k]);
+  }
+  for (std::size_t k = 0; k + 1 < config.cpa_cuts.size(); ++k) {
+    depth = std::max(depth, config.cpa_cuts[k + 1] - config.cpa_cuts[k]);
+  }
+  return depth;
+}
+
+}  // namespace rsg::arch

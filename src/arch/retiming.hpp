@@ -1,0 +1,59 @@
+// Retiming / register assignment for pipelined array multipliers (Ch. 5).
+//
+// "Using retiming transformations, the multiplier can be pipelined to any
+// degree in a manner that preserves the regularity of the inner array, but
+// adds irregularity to the periphery in the form of input and output
+// register stacks." The thesis leaves the retiming subprogram as future
+// work ("ultimately a subprogram to perform the retiming can be embedded in
+// the multiplier design file") — this module implements it.
+//
+// Model: the array is a cascade of n carry-save rows followed by an
+// (m+n)-bit carry-propagate row. A pipelining degree β allows at most β
+// full-adder delays between registers, so register cuts fall after every β
+// carry-save rows and after every β ripple positions of the CPA. β = 1 is
+// the bit-systolic multiplier of Figure 5.2(a); β = 2 is Figure 5.2(b).
+// The register configuration table this produces is exactly what the
+// thesis's parameter file would carry into the design file.
+#pragma once
+
+#include <vector>
+
+#include "arch/baugh_wooley.hpp"
+
+namespace rsg::arch {
+
+struct RegisterConfiguration {
+  int beta = 1;                 // max FA delays between registers
+  int carry_save_stages = 0;    // ceil(n / beta)
+  int carry_propagate_stages = 0;  // ceil((m+n) / beta)
+  int stages() const { return carry_save_stages + carry_propagate_stages; }
+
+  // Rows [cut[k], cut[k+1]) execute in carry-save stage k.
+  std::vector<int> row_cuts;
+  // Ripple positions [cpa_cuts[k], cpa_cuts[k+1]) execute in CPA stage k.
+  std::vector<int> cpa_cuts;
+
+  // Pipeline register bits at each stage boundary (boundary 0 = input
+  // registers). Operand bits still needed downstream travel with the wave —
+  // these are the peripheral "register stacks" of Figure 5.2 — plus the
+  // carry-save partial sums and the partially rippled result.
+  std::vector<int> boundary_register_bits;
+  int total_register_bits = 0;
+
+  // Skew registers per operand column: input bit j of the multiplicand must
+  // be delayed by the stage at which its first consuming row runs
+  // (triangular stacks — what mtopregs/mbottomregs build in Appendix B).
+  std::vector<int> input_skew_a;
+  std::vector<int> input_skew_b;
+};
+
+// Computes the configuration; throws rsg::Error for beta < 1 or an invalid
+// spec. beta may exceed the total depth, in which case there is exactly one
+// stage of each kind.
+RegisterConfiguration compute_register_configuration(const MultiplierSpec& spec, int beta);
+
+// The longest combinational path (in FA delays) inside any single stage —
+// must be <= beta; exposed so tests can assert the retiming is legal.
+int max_stage_depth(const RegisterConfiguration& config);
+
+}  // namespace rsg::arch

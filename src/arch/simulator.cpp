@@ -1,0 +1,76 @@
+#include "arch/simulator.hpp"
+
+#include "support/error.hpp"
+
+namespace rsg::arch {
+
+PipelinedMultiplier::PipelinedMultiplier(const MultiplierSpec& spec, int beta)
+    : spec_(spec), config_(compute_register_configuration(spec, beta)) {}
+
+void PipelinedMultiplier::reset() {
+  in_flight_.clear();
+  cycles_ = 0;
+}
+
+void PipelinedMultiplier::execute_stage(Job& job) const {
+  const int s = job.stage;
+  if (s < config_.carry_save_stages) {
+    const int first_row = config_.row_cuts[static_cast<std::size_t>(s)];
+    const int last_row = config_.row_cuts[static_cast<std::size_t>(s) + 1];
+    for (int i = first_row; i < last_row; ++i) {
+      apply_carry_save_row(spec_, job.a_bits, job.b_bits, i, job.sum, job.carry);
+    }
+  } else {
+    const int t = s - config_.carry_save_stages;
+    const int from = config_.cpa_cuts[static_cast<std::size_t>(t)];
+    const int to = config_.cpa_cuts[static_cast<std::size_t>(t) + 1];
+    apply_cpa_segment(job.sum, job.carry, job.result, job.ripple, from, to);
+  }
+  ++job.stage;
+}
+
+PipelinedMultiplier::Output PipelinedMultiplier::step(std::int64_t a, std::int64_t b) {
+  ++cycles_;
+  // One clock: every in-flight job advances through its next stage (the
+  // stages are spatially distinct hardware, so this models true pipelining),
+  // then a new job is issued into stage 0.
+  for (Job& job : in_flight_) execute_stage(job);
+
+  Job job;
+  const int width = spec_.m + spec_.n;
+  job.a_bits = to_bits(a, spec_.m);
+  job.b_bits = to_bits(b, spec_.n);
+  job.sum.assign(static_cast<std::size_t>(width), 0);
+  job.carry.assign(static_cast<std::size_t>(width), 0);
+  job.result.assign(static_cast<std::size_t>(width), 0);
+  preload_corrections(spec_, job.sum, job.carry);
+  in_flight_.push_back(std::move(job));
+
+  Output out;
+  if (in_flight_.front().stage == config_.stages()) {
+    out.valid = true;
+    out.product = from_bits(in_flight_.front().result);
+    in_flight_.pop_front();
+  }
+  return out;
+}
+
+std::deque<std::int64_t> PipelinedMultiplier::drain() {
+  std::deque<std::int64_t> products;
+  // Finish every issued job; freshly issued zero-pairs are discarded.
+  const std::size_t pending = in_flight_.size();
+  for (std::size_t i = 0; i < pending + static_cast<std::size_t>(config_.stages()); ++i) {
+    if (in_flight_.empty()) break;
+    for (Job& job : in_flight_) {
+      if (job.stage < config_.stages()) execute_stage(job);
+    }
+    while (!in_flight_.empty() && in_flight_.front().stage == config_.stages()) {
+      products.push_back(from_bits(in_flight_.front().result));
+      in_flight_.pop_front();
+    }
+    ++cycles_;
+  }
+  return products;
+}
+
+}  // namespace rsg::arch

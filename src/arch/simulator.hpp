@@ -1,0 +1,70 @@
+// Register-level simulator for pipelined Baugh–Wooley multipliers.
+//
+// Substitutes for the thesis's EXCL + SPICE flow (documented in DESIGN.md):
+// instead of extracting and electrically simulating the generated layout, we
+// simulate the synchronous architecture the layout implements and check
+// functional correctness, latency, and throughput across pipelining degrees
+// β — the same β-sweep the thesis performs "through repeated iterations of
+// multiplier layout generation, circuit extraction, and electrical
+// simulation" (Ch. 5).
+//
+// The machine accepts one operand pair per clock and produces one product
+// per clock after `latency()` cycles — the defining property of the
+// pipelined array (Figure 5.2).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "arch/baugh_wooley.hpp"
+#include "arch/retiming.hpp"
+
+namespace rsg::arch {
+
+class PipelinedMultiplier {
+ public:
+  PipelinedMultiplier(const MultiplierSpec& spec, int beta);
+
+  const MultiplierSpec& spec() const { return spec_; }
+  const RegisterConfiguration& config() const { return config_; }
+
+  // Cycles from issuing (a, b) to its product appearing.
+  int latency() const { return config_.stages(); }
+
+  struct Output {
+    bool valid = false;
+    std::int64_t product = 0;
+  };
+
+  // Advances one clock: issues a new operand pair and returns the product of
+  // the pair issued latency() cycles earlier (invalid while filling).
+  Output step(std::int64_t a, std::int64_t b);
+
+  // Drains the pipeline with zero operands until every issued pair retires.
+  std::deque<std::int64_t> drain();
+
+  void reset();
+
+  std::int64_t cycles() const { return cycles_; }
+
+ private:
+  struct Job {
+    std::vector<int> a_bits;
+    std::vector<int> b_bits;
+    std::vector<int> sum;
+    std::vector<int> carry;
+    std::vector<int> result;
+    int ripple = 0;
+    int stage = 0;  // next stage to execute
+  };
+
+  void execute_stage(Job& job) const;
+
+  MultiplierSpec spec_;
+  RegisterConfiguration config_;
+  std::deque<Job> in_flight_;
+  std::int64_t cycles_ = 0;
+};
+
+}  // namespace rsg::arch

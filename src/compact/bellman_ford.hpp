@@ -1,0 +1,41 @@
+// Constraint solving by Bellman–Ford relaxation (§6.4.2).
+//
+// Assigns each variable the LOWEST abscissa satisfying all constraints —
+// pushing "all the objects in a layout as much to the left as they can go".
+// Pitch terms must be fixed before solving (leaf compaction uses the LP
+// solver instead); this solver rejects systems with free pitch variables.
+//
+// §6.4.2's observation is reproduced exactly: traversing edges sorted by
+// the initial abscissa of their source makes the initial ordering a good
+// estimate of the final one, and "in the case where the initial ordering is
+// preserved in the final layout exactly one relaxation step is required
+// instead of the |V| required in the worst case" — bench_t642_bellman
+// counts the passes both ways.
+#pragma once
+
+#include "compact/constraint_graph.hpp"
+
+namespace rsg::compact {
+
+struct SolveStats {
+  int passes = 0;                 // full sweeps over the edge list
+  std::size_t relaxations = 0;    // individual successful tightenings
+  bool converged = false;
+};
+
+enum class EdgeOrder {
+  kSorted,     // by the source variable's initial abscissa (§6.4.2)
+  kInsertion,  // as generated
+  kReversed,   // adversarial: worst case for the relaxation count
+};
+
+// Solves into system.values. Throws rsg::Error on infeasible systems
+// (a positive cycle — the layout cannot satisfy its own constraints).
+SolveStats solve_leftmost(ConstraintSystem& system, EdgeOrder order = EdgeOrder::kSorted);
+
+// The rightmost solution subject to every variable <= width (used by the
+// rubber-band pass to compute slack intervals).
+SolveStats solve_rightmost(ConstraintSystem& system, Coord width,
+                           std::vector<Coord>& upper_bounds);
+
+}  // namespace rsg::compact

@@ -1,0 +1,4 @@
+#include "compact/design_rule_table.hpp"
+
+// Header-only; kept as a translation unit anchor.
+namespace rsg::compact {}

@@ -1,0 +1,99 @@
+#include "compact/flat_compactor.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace rsg::compact {
+
+namespace {
+
+std::vector<LayerBox> transposed(const std::vector<LayerBox>& boxes) {
+  std::vector<LayerBox> out;
+  out.reserve(boxes.size());
+  for (const LayerBox& lb : boxes) {
+    out.push_back({lb.layer, Box(lb.box.lo.y, lb.box.lo.x, lb.box.hi.y, lb.box.hi.x)});
+  }
+  return out;
+}
+
+}  // namespace
+
+FlatResult compact_flat_y(const std::vector<LayerBox>& boxes, const CompactionRules& rules,
+                          const FlatOptions& options, const std::vector<bool>& stretchable) {
+  FlatResult result = compact_flat(transposed(boxes), rules, options, stretchable);
+  result.boxes = transposed(result.boxes);
+  return result;
+}
+
+XyResult compact_flat_xy(const std::vector<LayerBox>& boxes, const CompactionRules& rules,
+                         const FlatOptions& options, const std::vector<bool>& stretchable) {
+  const FlatResult x_pass = compact_flat(boxes, rules, options, stretchable);
+  const FlatResult y_pass = compact_flat_y(x_pass.boxes, rules, options, stretchable);
+  XyResult result;
+  result.boxes = y_pass.boxes;
+  result.width_before = x_pass.width_before;
+  result.width_after = x_pass.width_after;
+  result.height_before = y_pass.width_before;
+  result.height_after = y_pass.width_after;
+  return result;
+}
+
+FlatResult compact_flat(const std::vector<LayerBox>& boxes, const CompactionRules& rules,
+                        const FlatOptions& options, const std::vector<bool>& stretchable) {
+  if (!stretchable.empty() && stretchable.size() != boxes.size()) {
+    throw Error("compact_flat: stretchable mask size mismatch");
+  }
+
+  FlatResult result;
+  // Normalize: shift so the leftmost edge is at 0 (the anchor wall).
+  Coord min_x = 0;
+  Coord max_x = 0;
+  if (!boxes.empty()) {
+    min_x = boxes.front().box.lo.x;
+    max_x = boxes.front().box.hi.x;
+    for (const LayerBox& lb : boxes) {
+      min_x = std::min(min_x, lb.box.lo.x);
+      max_x = std::max(max_x, lb.box.hi.x);
+    }
+  }
+  result.width_before = max_x - min_x;
+
+  std::vector<CompactionBox> cboxes;
+  cboxes.reserve(boxes.size());
+  for (std::size_t i = 0; i < boxes.size(); ++i) {
+    CompactionBox cb;
+    cb.geometry = boxes[i];
+    cb.geometry.box = cb.geometry.box.translated({-min_x, 0});
+    cb.stretchable = options.mark_all_stretchable ||
+                     (!stretchable.empty() && stretchable[i]);
+    cboxes.push_back(cb);
+  }
+
+  ConstraintSystem system;
+  add_box_variables(system, cboxes);
+  if (options.naive_constraints) {
+    generate_constraints_naive(system, cboxes, rules);
+  } else {
+    generate_constraints(system, cboxes, rules);
+  }
+  result.constraint_count = system.constraint_count();
+  result.variable_count = system.variable_count();
+
+  result.solve = solve_leftmost(system, options.edge_order);
+  if (options.apply_rubber_band) result.rubber = rubber_band(system);
+
+  result.boxes.reserve(cboxes.size());
+  Coord width = 0;
+  for (const CompactionBox& cb : cboxes) {
+    const Coord left = system.values[static_cast<std::size_t>(cb.left_var)];
+    const Coord right = system.values[static_cast<std::size_t>(cb.right_var)];
+    result.boxes.push_back(
+        {cb.geometry.layer, Box(left, cb.geometry.box.lo.y, right, cb.geometry.box.hi.y)});
+    width = std::max(width, right);
+  }
+  result.width_after = width;
+  return result;
+}
+
+}  // namespace rsg::compact

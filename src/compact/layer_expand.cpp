@@ -1,0 +1,60 @@
+#include "compact/layer_expand.hpp"
+
+#include "support/error.hpp"
+
+namespace rsg::compact {
+
+namespace {
+
+int cuts_along(Coord extent, const ContactRules& rules) {
+  // Cuts at pitch (size + spacing), at least one, fitting inside `extent`.
+  if (extent < rules.cut_size) return 0;
+  return static_cast<int>(1 + (extent - rules.cut_size) / (rules.cut_size + rules.cut_spacing));
+}
+
+}  // namespace
+
+int cut_count(const Box& contact, const ContactRules& rules) {
+  const Coord inner_w = contact.width() - 2 * rules.metal_overlap;
+  const Coord inner_h = contact.height() - 2 * rules.metal_overlap;
+  return cuts_along(inner_w, rules) * cuts_along(inner_h, rules);
+}
+
+std::vector<LayerBox> expand_contacts(const std::vector<LayerBox>& boxes,
+                                      const ContactRules& rules) {
+  std::vector<LayerBox> out;
+  out.reserve(boxes.size());
+  for (const LayerBox& lb : boxes) {
+    if (lb.layer != Layer::kContact) {
+      out.push_back(lb);
+      continue;
+    }
+    const Box& c = lb.box;
+    const Coord inner_w = c.width() - 2 * rules.metal_overlap;
+    const Coord inner_h = c.height() - 2 * rules.metal_overlap;
+    const int nx = cuts_along(inner_w, rules);
+    const int ny = cuts_along(inner_h, rules);
+    if (nx < 1 || ny < 1) {
+      throw Error("contact box too small to hold a legal cut");
+    }
+    // Table lookup result: full-size metal and poly, cut array centered in
+    // the interior.
+    out.push_back({Layer::kMetal1, c});
+    out.push_back({Layer::kPoly, c});
+    const Coord pitch = rules.cut_size + rules.cut_spacing;
+    const Coord used_w = rules.cut_size + static_cast<Coord>(nx - 1) * pitch;
+    const Coord used_h = rules.cut_size + static_cast<Coord>(ny - 1) * pitch;
+    const Coord x0 = c.lo.x + rules.metal_overlap + (inner_w - used_w) / 2;
+    const Coord y0 = c.lo.y + rules.metal_overlap + (inner_h - used_h) / 2;
+    for (int ix = 0; ix < nx; ++ix) {
+      for (int iy = 0; iy < ny; ++iy) {
+        const Coord x = x0 + static_cast<Coord>(ix) * pitch;
+        const Coord y = y0 + static_cast<Coord>(iy) * pitch;
+        out.push_back({Layer::kContactCut, Box(x, y, x + rules.cut_size, y + rules.cut_size)});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace rsg::compact

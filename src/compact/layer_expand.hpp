@@ -1,0 +1,37 @@
+// Symbolic layer expansion (§6.4.3, Figure 6.9).
+//
+// Design rules born from layer interaction (contacts, gates) cannot be
+// written as pairwise spacing constraints, so the compactor works on
+// special layers — here the symbolic kContact layer, "comprised of metal,
+// poly and the actual contact cut (or cuts) between them" — and only "at
+// mask creation time the contact layer is converted into actual
+// lithographic mask layers which may contain one or several contact cuts
+// depending on the size of the contact layer. The appropriate metal and
+// poly overlaps as well as the size and spacing of the contact cuts can be
+// looked up in a table."
+#pragma once
+
+#include <vector>
+
+#include "geom/box.hpp"
+
+namespace rsg::compact {
+
+struct ContactRules {
+  Coord cut_size = 4;       // square contact-cut edge
+  Coord cut_spacing = 4;    // between adjacent cuts in the array
+  Coord metal_overlap = 2;  // metal beyond the cut area on every side
+  Coord poly_overlap = 2;
+};
+
+// Expands every kContact box in `boxes` into metal1 + poly + an array of
+// cuts; all other boxes pass through untouched. Throws if a contact box is
+// too small to hold even one legal cut.
+std::vector<LayerBox> expand_contacts(const std::vector<LayerBox>& boxes,
+                                      const ContactRules& rules = {});
+
+// The number of cuts a contact box of the given size yields (for tests and
+// the Figure 6.9 demo).
+int cut_count(const Box& contact, const ContactRules& rules = {});
+
+}  // namespace rsg::compact

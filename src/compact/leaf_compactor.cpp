@@ -1,0 +1,232 @@
+#include "compact/leaf_compactor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "compact/scanline.hpp"
+#include "compact/simplex.hpp"
+#include "layout/flatten.hpp"
+#include "support/error.hpp"
+
+namespace rsg::compact {
+
+namespace {
+
+struct CellVars {
+  std::vector<LayerBox> boxes;     // local geometry
+  std::vector<int> left_vars;      // per box
+  std::vector<int> right_vars;
+  std::vector<bool> stretchable;
+};
+
+bool layer_in(const std::vector<Layer>& layers, Layer layer) {
+  return std::find(layers.begin(), layers.end(), layer) != layers.end();
+}
+
+}  // namespace
+
+LeafResult compact_leaf_cells(const CellTable& cells, const InterfaceTable& interfaces,
+                              const std::vector<std::string>& cell_names,
+                              const std::vector<PitchSpec>& pitch_specs,
+                              const CompactionRules& rules, double width_weight,
+                              const std::vector<Layer>& stretchable_layers) {
+  ConstraintSystem system;
+  std::map<std::string, CellVars> vars;
+
+  // One shared set of edge variables per CELL — the folding that forces
+  // "all instances of a cell A in the final layout [to] have exactly the
+  // same geometry" (§6.1).
+  for (const std::string& name : cell_names) {
+    const Cell& cell = cells.get(name);
+    CellVars cv;
+    cv.boxes = flatten_boxes(cell);
+    if (cv.boxes.empty()) throw Error("leaf compaction: cell '" + name + "' has no geometry");
+    for (std::size_t b = 0; b < cv.boxes.size(); ++b) {
+      const Box& box = cv.boxes[b].box;
+      if (box.lo.x < 0) {
+        throw Error("leaf compaction: cell '" + name +
+                    "' has boxes at negative local x; shift the cell first");
+      }
+      cv.left_vars.push_back(
+          system.add_variable(name + ".L" + std::to_string(b), box.lo.x));
+      cv.right_vars.push_back(
+          system.add_variable(name + ".R" + std::to_string(b), box.hi.x));
+      cv.stretchable.push_back(layer_in(stretchable_layers, cv.boxes[b].layer));
+    }
+    vars.emplace(name, std::move(cv));
+  }
+
+  LeafResult result;
+
+  // Intra-cell constraints (Fig 6.3's solid edges).
+  for (const std::string& name : cell_names) {
+    const CellVars& cv = vars.at(name);
+    std::vector<CompactionBox> cboxes;
+    for (std::size_t b = 0; b < cv.boxes.size(); ++b) {
+      CompactionBox cb;
+      cb.geometry = cv.boxes[b];
+      cb.left_var = cv.left_vars[b];
+      cb.right_var = cv.right_vars[b];
+      cb.stretchable = cv.stretchable[b];
+      cboxes.push_back(cb);
+    }
+    generate_constraints(system, cboxes, rules);
+  }
+
+  // Pitch variables + inter-cell constraints from each interface's pair
+  // layout (Fig 6.3's arc edges, folded through λ).
+  std::size_t unfolded = 0;
+  std::vector<int> pitch_ids;
+  for (std::size_t s = 0; s < pitch_specs.size(); ++s) {
+    const PitchSpec& spec = pitch_specs[s];
+    const Interface iface =
+        interfaces.get(spec.cell_a, spec.cell_b, spec.interface_index);
+    if (!(iface.orientation == Orientation::kNorth)) {
+      throw Error("leaf compaction handles North-oriented interfaces only (1-D model)");
+    }
+    if (iface.vector.x <= 0) {
+      throw Error("leaf compaction requires a positive x pitch between '" + spec.cell_a +
+                  "' and '" + spec.cell_b + "'");
+    }
+    const int pitch = system.add_pitch(
+        "lambda." + spec.cell_a + "." + spec.cell_b + "#" +
+            std::to_string(spec.interface_index),
+        iface.vector.x);
+    pitch_ids.push_back(pitch);
+    result.original_pitches.push_back(iface.vector.x);
+    result.pitch_y.push_back(iface.vector.y);
+
+    const CellVars& cva = vars.at(spec.cell_a);
+    const CellVars& cvb = vars.at(spec.cell_b);
+    unfolded += 2 * (cva.boxes.size() + cvb.boxes.size());
+
+    // Pair layout: A at the origin (coeff 0), B at (λ, V.y) (coeff 1).
+    // Instance copies SHARE the cell variables; the scan line then emits
+    // inter-cell constraints already folded through λ.
+    std::vector<CompactionBox> pair;
+    for (std::size_t b = 0; b < cva.boxes.size(); ++b) {
+      CompactionBox cb;
+      cb.geometry = cva.boxes[b];
+      cb.left_var = cva.left_vars[b];
+      cb.right_var = cva.right_vars[b];
+      cb.stretchable = cva.stretchable[b];
+      pair.push_back(cb);
+    }
+    for (std::size_t b = 0; b < cvb.boxes.size(); ++b) {
+      CompactionBox cb;
+      cb.geometry = cvb.boxes[b];
+      cb.geometry.box = cb.geometry.box.translated({iface.vector.x, iface.vector.y});
+      cb.left_var = cvb.left_vars[b];
+      cb.right_var = cvb.right_vars[b];
+      cb.stretchable = cvb.stretchable[b];
+      cb.pitch = pitch;
+      cb.pitch_coeff = 1;
+      pair.push_back(cb);
+    }
+    generate_constraints(system, pair, rules);
+  }
+
+  result.variable_count = system.variable_count() + system.pitch_count();
+  result.unfolded_variable_count = unfolded;
+  result.constraint_count = system.constraint_count();
+
+  // LP: minimize Σ weight_s λ_s + width_weight Σ (R - L), subject to the
+  // constraint system rewritten as  X_from - X_to - k λ <= -w  with all
+  // variables >= 0.
+  LpProblem lp;
+  const int num_edges = static_cast<int>(system.variable_count());
+  lp.num_vars = num_edges + static_cast<int>(system.pitch_count());
+  lp.objective.assign(static_cast<std::size_t>(lp.num_vars), 0.0);
+  for (const std::string& name : cell_names) {
+    const CellVars& cv = vars.at(name);
+    for (std::size_t b = 0; b < cv.boxes.size(); ++b) {
+      lp.objective[static_cast<std::size_t>(cv.right_vars[b])] += width_weight;
+      lp.objective[static_cast<std::size_t>(cv.left_vars[b])] -= width_weight;
+    }
+  }
+  for (std::size_t s = 0; s < pitch_specs.size(); ++s) {
+    lp.objective[static_cast<std::size_t>(num_edges + pitch_ids[s])] +=
+        pitch_specs[s].replication_weight;
+  }
+  for (const Constraint& c : system.constraints()) {
+    LpConstraint row;
+    if (c.from >= 0) row.terms.emplace_back(c.from, 1.0);
+    row.terms.emplace_back(c.to, -1.0);
+    if (c.pitch >= 0) row.terms.emplace_back(num_edges + c.pitch, -c.pitch_coeff);
+    row.rhs = -static_cast<double>(c.weight);
+    if (c.from < 0 && c.weight <= 0) continue;  // X >= 0 is implicit in the LP
+    lp.constraints.push_back(std::move(row));
+  }
+
+  // Gauge fixing: pin each cell's originally-leftmost edge to x = 0. A
+  // cell's frame (origin) is otherwise a free gauge the LP would exploit —
+  // drifting a cell's content rightward relative to its origin shrinks an
+  // incoming pitch without shrinking the physical layout. Pinning the
+  // leftmost box keeps origin-to-content offsets honest; the combination
+  // with the implicit X >= 0 makes it an equality.
+  for (const std::string& name : cell_names) {
+    const CellVars& cv = vars.at(name);
+    std::size_t leftmost = 0;
+    for (std::size_t b = 1; b < cv.boxes.size(); ++b) {
+      if (cv.boxes[b].box.lo.x < cv.boxes[leftmost].box.lo.x) leftmost = b;
+    }
+    LpConstraint pin;
+    pin.terms.emplace_back(cv.left_vars[leftmost], 1.0);
+    pin.rhs = 0.0;
+    lp.constraints.push_back(std::move(pin));
+  }
+
+  const LpSolution solution = solve_lp(lp);
+  if (!solution.feasible) throw Error("leaf compaction: constraint system infeasible");
+  if (!solution.bounded) throw Error("leaf compaction: objective unbounded (missing anchors)");
+  result.objective = solution.objective;
+
+  // Round and verify. Edge positions round to nearest; a failed
+  // verification relaxes the pitches upward (always feasible for spacing-
+  // style systems) before giving up.
+  for (std::size_t v = 0; v < system.variable_count(); ++v) {
+    system.values[v] = static_cast<Coord>(std::llround(solution.x[v]));
+  }
+  for (std::size_t p = 0; p < system.pitch_count(); ++p) {
+    system.pitch_values[p] = static_cast<Coord>(
+        std::llround(solution.x[static_cast<std::size_t>(num_edges) + p]));
+  }
+  for (int attempt = 0; attempt < 4 && !system.satisfied(); ++attempt) {
+    for (Coord& pitch : system.pitch_values) ++pitch;
+  }
+  if (!system.satisfied()) {
+    throw Error("leaf compaction: rounding produced an infeasible layout");
+  }
+
+  for (const std::string& name : cell_names) {
+    const CellVars& cv = vars.at(name);
+    std::vector<LayerBox> out;
+    for (std::size_t b = 0; b < cv.boxes.size(); ++b) {
+      const Coord left = system.values[static_cast<std::size_t>(cv.left_vars[b])];
+      const Coord right = system.values[static_cast<std::size_t>(cv.right_vars[b])];
+      out.push_back({cv.boxes[b].layer,
+                     Box(left, cv.boxes[b].box.lo.y, right, cv.boxes[b].box.hi.y)});
+    }
+    result.cells.emplace(name, std::move(out));
+  }
+  for (std::size_t s = 0; s < pitch_specs.size(); ++s) {
+    result.pitches.push_back(system.pitch_values[static_cast<std::size_t>(pitch_ids[s])]);
+  }
+  return result;
+}
+
+void make_compacted_library(const LeafResult& result, const std::vector<PitchSpec>& pitch_specs,
+                            CellTable& out_cells, InterfaceTable& out_interfaces) {
+  for (const auto& [name, boxes] : result.cells) {
+    Cell& cell = out_cells.create(name);
+    for (const LayerBox& lb : boxes) cell.add_box(lb.layer, lb.box);
+  }
+  for (std::size_t s = 0; s < pitch_specs.size(); ++s) {
+    const PitchSpec& spec = pitch_specs[s];
+    out_interfaces.declare(spec.cell_a, spec.cell_b, spec.interface_index,
+                           Interface{{result.pitches[s], result.pitch_y[s]},
+                                     Orientation::kNorth});
+  }
+}
+
+}  // namespace rsg::compact

@@ -1,0 +1,73 @@
+// Leaf-cell compaction (§6.1–§6.3) — the thesis's proposal for making the
+// RSG technology-transportable.
+//
+// Instead of compacting assembled structures, compact the LIBRARY: the
+// unknowns are the vertical box edges of each leaf cell plus one pitch
+// variable λ per interface, and every instance of a cell shares one set of
+// edge variables. Inter-cell constraints generated from an interface's pair
+// layout fold through λ exactly as Figure 6.3 prescribes (the edge
+// "4 -> 1' weighted z4" becomes "4 -> 1 weighted z4 - λa"), which both
+// shrinks the unknown count (8 -> 5 in the figure's example) and forces all
+// instances of a cell to share one geometry. Because edge weights now
+// contain λ, Bellman–Ford no longer applies and the system is solved as a
+// linear program (§6.3) with a user cost function over the pitches —
+// weighted by expected replication factors, not by cell sizes (§6.2).
+//
+// Restrictions (documented §6.3 scope): compaction is one-dimensional in x;
+// interfaces must be North-oriented with positive x pitch; leaf-cell boxes
+// must sit at non-negative local x.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "compact/design_rule_table.hpp"
+#include "iface/interface_table.hpp"
+#include "layout/cell_table.hpp"
+
+namespace rsg::compact {
+
+struct PitchSpec {
+  std::string cell_a;
+  std::string cell_b;
+  int interface_index = 1;
+  // The cost weight of this pitch — "based on empirical estimates of what n
+  // and m are expected to be" (§6.2). Larger = replicated more often.
+  double replication_weight = 1.0;
+};
+
+struct LeafResult {
+  // Compacted geometry per cell (x recomputed, y untouched).
+  std::map<std::string, std::vector<LayerBox>> cells;
+  // New pitch per PitchSpec, parallel to the input vector. Only the x
+  // component is optimized; pitch_y preserves each interface's original y
+  // offset for library reconstruction.
+  std::vector<Coord> pitches;
+  std::vector<Coord> original_pitches;
+  std::vector<Coord> pitch_y;
+
+  std::size_t variable_count = 0;           // folded: edges + pitches
+  std::size_t unfolded_variable_count = 0;  // what per-instance edges would need
+  std::size_t constraint_count = 0;
+  double objective = 0.0;
+};
+
+// `cell_names` lists the leaf cells whose geometry may change; every
+// PitchSpec's interface must exist in `interfaces`. Boxes listed in
+// `stretchable_layers` may shrink to minimum width (buses); all other boxes
+// are rigid (devices).
+LeafResult compact_leaf_cells(const CellTable& cells, const InterfaceTable& interfaces,
+                              const std::vector<std::string>& cell_names,
+                              const std::vector<PitchSpec>& pitch_specs,
+                              const CompactionRules& rules, double width_weight = 1e-3,
+                              const std::vector<Layer>& stretchable_layers = {});
+
+// Rebuilds a fresh cell table + interface table from a compaction result —
+// "after the compaction is completed, it is possible to build a new sample
+// layout for the new technology ... from the new cell definitions of the
+// leaf cells and the new pitch parameters" (§6.3).
+void make_compacted_library(const LeafResult& result, const std::vector<PitchSpec>& pitch_specs,
+                            CellTable& out_cells, InterfaceTable& out_interfaces);
+
+}  // namespace rsg::compact

@@ -1,0 +1,289 @@
+#include "compact/scanline.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "support/error.hpp"
+
+namespace rsg::compact {
+
+namespace {
+
+Coord y_gap(const Box& a, const Box& b) {
+  return std::max<Coord>({a.lo.y - b.hi.y, b.lo.y - a.hi.y, 0});
+}
+
+// Union-find over same-layer touching boxes: boxes of one electrical net
+// must not receive spacing constraints against each other (they hold
+// kConnect constraints instead). This is the net knowledge that plain box
+// merging (§6.4.1) would provide but that device/bus tagging forbids.
+class NetFinder {
+ public:
+  explicit NetFinder(const std::vector<CompactionBox>& boxes)
+      : parent_(boxes.size()) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+    for (std::size_t i = 0; i < boxes.size(); ++i) {
+      for (std::size_t j = i + 1; j < boxes.size(); ++j) {
+        if (boxes[i].geometry.layer != boxes[j].geometry.layer) continue;
+        if (boxes[i].geometry.box.abuts_or_intersects(boxes[j].geometry.box)) {
+          unite(i, j);
+        }
+      }
+    }
+  }
+
+  bool same_net(std::size_t a, std::size_t b) { return find(a) == find(b); }
+
+ private:
+  std::size_t find(std::size_t v) {
+    while (parent_[v] != v) {
+      parent_[v] = parent_[parent_[v]];
+      v = parent_[v];
+    }
+    return v;
+  }
+  void unite(std::size_t a, std::size_t b) { parent_[find(a)] = find(b); }
+
+  std::vector<std::size_t> parent_;
+};
+
+// Per-layer visibility profile: disjoint y segments, each remembering the
+// box a left-looking viewer sees there (Figure 6.7).
+class Profile {
+ public:
+  struct Segment {
+    Coord y0;
+    Coord y1;
+    std::size_t box;
+  };
+
+  std::vector<std::size_t> query(Coord y0, Coord y1) const {
+    std::vector<std::size_t> seen;
+    for (const Segment& s : segments_) {
+      if (s.y1 > y0 && s.y0 < y1) seen.push_back(s.box);
+    }
+    return seen;
+  }
+
+  // Inserts [y0, y1) -> box. Where the range overlaps an existing segment,
+  // the box whose right edge reaches further stays visible.
+  void insert(Coord y0, Coord y1, std::size_t box,
+              const std::vector<CompactionBox>& boxes) {
+    std::vector<Segment> next;
+    std::vector<Segment> pieces{{y0, y1, box}};
+    for (const Segment& s : segments_) {
+      if (s.y1 <= y0 || s.y0 >= y1) {
+        next.push_back(s);
+        continue;
+      }
+      // Split the existing segment around the overlap.
+      if (s.y0 < y0) next.push_back({s.y0, y0, s.box});
+      if (s.y1 > y1) next.push_back({y1, s.y1, s.box});
+      const Coord o0 = std::max(s.y0, y0);
+      const Coord o1 = std::min(s.y1, y1);
+      if (boxes[s.box].geometry.box.hi.x > boxes[box].geometry.box.hi.x) {
+        // The old box still sticks out further right: it stays visible in
+        // the overlap, and the new box's piece there is dropped.
+        next.push_back({o0, o1, s.box});
+        std::vector<Segment> remaining;
+        for (Segment& piece : pieces) {
+          if (piece.y1 <= o0 || piece.y0 >= o1) {
+            remaining.push_back(piece);
+            continue;
+          }
+          if (piece.y0 < o0) remaining.push_back({piece.y0, o0, piece.box});
+          if (piece.y1 > o1) remaining.push_back({o1, piece.y1, piece.box});
+        }
+        pieces = std::move(remaining);
+      }
+    }
+    for (const Segment& piece : pieces) {
+      if (piece.y0 < piece.y1) next.push_back(piece);
+    }
+    segments_ = std::move(next);
+  }
+
+ private:
+  std::vector<Segment> segments_;
+};
+
+void add_width_and_anchor(ConstraintSystem& system, const std::vector<CompactionBox>& boxes,
+                          const CompactionRules& rules) {
+  for (const CompactionBox& cb : boxes) {
+    const Coord original = cb.geometry.box.width();
+    const Coord minimum =
+        cb.stretchable ? std::max<Coord>(rules.min_width(cb.geometry.layer), 1) : original;
+    system.add_constraint(cb.left_var, cb.right_var, minimum, ConstraintKind::kWidth);
+    if (!cb.stretchable) {
+      // Rigid boxes must not grow either.
+      system.add_constraint(cb.right_var, cb.left_var, -original, ConstraintKind::kWidth);
+    }
+    // Left wall: every edge at x >= 0 (leaf compaction shifts cells so this
+    // holds for the initial layout).
+    system.add_constraint(-1, cb.left_var, 0, ConstraintKind::kAnchor);
+  }
+}
+
+void emit_pair_constraint(ConstraintSystem& system, const std::vector<CompactionBox>& boxes,
+                          std::size_t ia, std::size_t ib, const CompactionRules& rules,
+                          NetFinder& nets) {
+  const CompactionBox& a = boxes[ia];
+  const CompactionBox& b = boxes[ib];
+  const Layer la = a.geometry.layer;
+  const Layer lb = b.geometry.layer;
+  const Coord s = rules.spacing(la, lb);
+
+  auto constrain = [&](int from_var, int from_pitch, int from_coeff, int to_var, int to_pitch,
+                       int to_coeff, Coord weight, ConstraintKind kind) {
+    // X_to + to_coeff*λ_to - (X_from + from_coeff*λ_from) >= weight. The
+    // solvers support a single pitch term per constraint; both endpoints in
+    // the same instance cancel, otherwise exactly one side carries λ (the
+    // Figure 6.3 folding). Opposing distinct pitches are rejected.
+    Constraint c;
+    c.from = from_var;
+    c.to = to_var;
+    c.weight = weight;
+    c.kind = kind;
+    if (from_pitch == to_pitch) {
+      if (from_coeff != to_coeff && from_pitch >= 0) {
+        throw Error("scanline: conflicting pitch coefficients on one constraint");
+      }
+    } else if (from_pitch < 0) {
+      c.pitch = to_pitch;
+      c.pitch_coeff = to_coeff;
+    } else if (to_pitch < 0) {
+      c.pitch = from_pitch;
+      c.pitch_coeff = -from_coeff;
+    } else {
+      throw Error("scanline: constraint spans two distinct pitch variables");
+    }
+    system.add_constraint(c);
+  };
+
+  if (la == lb && nets.same_net(ia, ib)) {
+    if (a.geometry.box.abuts_or_intersects(b.geometry.box)) {
+      // Electrical continuity: b must keep touching a, and the left-edge
+      // order is preserved so the net cannot turn itself inside out.
+      constrain(b.left_var, b.pitch, b.pitch_coeff, a.right_var, a.pitch, a.pitch_coeff, 0,
+                ConstraintKind::kConnect);
+      constrain(a.left_var, a.pitch, a.pitch_coeff, b.left_var, b.pitch, b.pitch_coeff, 0,
+                ConstraintKind::kConnect);
+    }
+    return;  // same net: never a spacing constraint (§6.4.1)
+  }
+
+  if (a.geometry.box.intersects(b.geometry.box)) {
+    // Overlapping interacting layers (e.g. poly over diffusion): preserve
+    // the original ordering of every edge pair so the topology survives.
+    const Coord ax[2] = {a.geometry.box.lo.x, a.geometry.box.hi.x};
+    const int av[2] = {a.left_var, a.right_var};
+    const Coord bx[2] = {b.geometry.box.lo.x, b.geometry.box.hi.x};
+    const int bv[2] = {b.left_var, b.right_var};
+    for (int i = 0; i < 2; ++i) {
+      for (int j = 0; j < 2; ++j) {
+        if (ax[i] <= bx[j]) {
+          constrain(av[i], a.pitch, a.pitch_coeff, bv[j], b.pitch, b.pitch_coeff, 0,
+                    ConstraintKind::kOrder);
+        } else {
+          constrain(bv[j], b.pitch, b.pitch_coeff, av[i], a.pitch, a.pitch_coeff, 0,
+                    ConstraintKind::kOrder);
+        }
+      }
+    }
+    return;
+  }
+
+  if (y_gap(a.geometry.box, b.geometry.box) >= s) return;  // far apart in y
+  // Disjoint interacting boxes: minimum spacing, in original x order.
+  if (a.geometry.box.lo.x <= b.geometry.box.lo.x) {
+    constrain(a.right_var, a.pitch, a.pitch_coeff, b.left_var, b.pitch, b.pitch_coeff, s,
+              ConstraintKind::kSpacing);
+  } else {
+    constrain(b.right_var, b.pitch, b.pitch_coeff, a.left_var, a.pitch, a.pitch_coeff, s,
+              ConstraintKind::kSpacing);
+  }
+}
+
+}  // namespace
+
+void add_box_variables(ConstraintSystem& system, std::vector<CompactionBox>& boxes) {
+  int index = 0;
+  for (CompactionBox& cb : boxes) {
+    if (cb.left_var < 0) {
+      cb.left_var = system.add_variable("L" + std::to_string(index), cb.geometry.box.lo.x);
+    }
+    if (cb.right_var < 0) {
+      cb.right_var = system.add_variable("R" + std::to_string(index), cb.geometry.box.hi.x);
+    }
+    ++index;
+  }
+}
+
+void generate_constraints(ConstraintSystem& system, const std::vector<CompactionBox>& boxes,
+                          const CompactionRules& rules) {
+  add_width_and_anchor(system, boxes, rules);
+  NetFinder nets(boxes);
+
+  // Sweep order: left edge, then right edge (stable for determinism).
+  std::vector<std::size_t> order(boxes.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t i, std::size_t j) {
+    const Box& a = boxes[i].geometry.box;
+    const Box& b = boxes[j].geometry.box;
+    return std::tuple(a.lo.x, a.hi.x) < std::tuple(b.lo.x, b.hi.x);
+  });
+
+  std::vector<Profile> profiles(kNumLayers);
+  for (const std::size_t ib : order) {
+    const CompactionBox& b = boxes[ib];
+    const Layer lb = b.geometry.layer;
+    std::set<std::size_t> seen;
+    for (int li = 0; li < kNumLayers; ++li) {
+      const Layer la = static_cast<Layer>(li);
+      const bool same = (la == lb);
+      if (!same && !rules.interacts(la, lb)) continue;
+      // Shadow margin: boxes within spacing distance in y still constrain.
+      const Coord margin = same ? std::max<Coord>(rules.spacing(la, lb), 1)
+                                : rules.spacing(la, lb);
+      for (const std::size_t ia :
+           profiles[static_cast<std::size_t>(li)].query(b.geometry.box.lo.y - margin,
+                                                        b.geometry.box.hi.y + margin)) {
+        if (ia != ib) seen.insert(ia);
+      }
+    }
+    for (const std::size_t ia : seen) emit_pair_constraint(system, boxes, ia, ib, rules, nets);
+    profiles[static_cast<std::size_t>(lb)].insert(b.geometry.box.lo.y, b.geometry.box.hi.y, ib,
+                                                  boxes);
+  }
+}
+
+void generate_constraints_naive(ConstraintSystem& system,
+                                const std::vector<CompactionBox>& boxes,
+                                const CompactionRules& rules) {
+  add_width_and_anchor(system, boxes, rules);
+  // "Indiscriminately generating the constraint between those two edges ...
+  // can substantially overconstrain the system" (§6.4.1): every same-layer
+  // or interacting pair within spacing distance in y gets a spacing
+  // constraint — abutting same-net fragments included (Figure 6.5).
+  for (std::size_t i = 0; i < boxes.size(); ++i) {
+    for (std::size_t j = 0; j < boxes.size(); ++j) {
+      if (i == j) continue;
+      const CompactionBox& a = boxes[i];
+      const CompactionBox& b = boxes[j];
+      if (a.geometry.box.lo.x > b.geometry.box.lo.x) continue;  // ordered once
+      if (a.geometry.box.lo.x == b.geometry.box.lo.x && i > j) continue;
+      const Coord s = rules.spacing(a.geometry.layer, b.geometry.layer);
+      if (s <= 0) continue;
+      if (y_gap(a.geometry.box, b.geometry.box) >= s) continue;
+      Constraint c;
+      c.from = a.right_var;
+      c.to = b.left_var;
+      c.weight = s;
+      c.kind = ConstraintKind::kSpacing;
+      system.add_constraint(c);
+    }
+  }
+}
+
+}  // namespace rsg::compact

@@ -1,0 +1,54 @@
+// Constraint generation (§6.4.1).
+//
+// Implements the "correct scan line method" of Figure 6.7: a vertical scan
+// line sweeps left to right holding, per layer, what a viewer on the line
+// looking LEFT would see. Constraints connect what the viewer sees to the
+// boxes newly reaching the line; hidden edges never enter the profile, so
+// fragmented layouts (Figure 6.5) are not overconstrained — the property
+// bench_fig65_fragmentation measures against the naive pairwise generator
+// below.
+//
+// Emitted constraint kinds:
+//   kWidth    R_i - L_i >= width (original width, or the layer minimum for
+//             boxes marked stretchable — the §6.4.1 bus/device sizing hook)
+//   kSpacing  L_b - R_a >= spacing(layers) for interacting, disjoint boxes
+//             whose y ranges come within the spacing of each other
+//   kConnect  R_a - L_b >= 0 and L_b - L_a >= 0 for same-layer boxes that
+//             touch or overlap (electrical continuity must survive)
+//   kOrder    f - e >= 0 for every originally-ordered edge pair of
+//             OVERLAPPING interacting layers (transistor topology: poly
+//             stays across diffusion)
+#pragma once
+
+#include <vector>
+
+#include "compact/constraint_graph.hpp"
+#include "compact/design_rule_table.hpp"
+
+namespace rsg::compact {
+
+struct CompactionBox {
+  LayerBox geometry;
+  bool stretchable = false;  // may shrink to the layer's minimum width
+  int left_var = -1;         // filled by add_boxes
+  int right_var = -1;
+  int pitch = -1;            // leaf compaction: instance pitch variable
+  int pitch_coeff = 0;       //   X_global = X_var + pitch_coeff * λ
+};
+
+// Creates the two edge variables for every box (unless already assigned —
+// leaf compaction shares variables between instance copies).
+void add_box_variables(ConstraintSystem& system, std::vector<CompactionBox>& boxes);
+
+// The visibility scan-line generator of Figure 6.7.
+void generate_constraints(ConstraintSystem& system, const std::vector<CompactionBox>& boxes,
+                          const CompactionRules& rules);
+
+// The naive generator: every same-layer / interacting pair with y overlap
+// gets a spacing constraint, hidden or not — the §6.4.1 mistake that
+// "can substantially overconstrain the system" (Figure 6.4/6.5).
+void generate_constraints_naive(ConstraintSystem& system,
+                                const std::vector<CompactionBox>& boxes,
+                                const CompactionRules& rules);
+
+}  // namespace rsg::compact

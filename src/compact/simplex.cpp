@@ -1,0 +1,233 @@
+#include "compact/simplex.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "support/error.hpp"
+
+namespace rsg::compact {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+// Dense tableau: rows = constraints, columns = structural + slack +
+// artificial variables, plus the rhs column. `basis[i]` is the variable
+// occupying row i.
+class Tableau {
+ public:
+  Tableau(const LpProblem& problem) {
+    const int m = static_cast<int>(problem.constraints.size());
+    const int n = problem.num_vars;
+    num_structural_ = n;
+    num_slack_ = m;
+    // Artificials only for rows whose slack alone cannot form a feasible
+    // basis (negative rhs after normalization).
+    std::vector<bool> needs_artificial(static_cast<std::size_t>(m), false);
+    int artificials = 0;
+    for (int i = 0; i < m; ++i) {
+      if (problem.constraints[static_cast<std::size_t>(i)].rhs < -kEps) {
+        needs_artificial[static_cast<std::size_t>(i)] = true;
+        ++artificials;
+      }
+    }
+    num_artificial_ = artificials;
+    cols_ = n + m + artificials + 1;  // + rhs
+    rows_.assign(static_cast<std::size_t>(m),
+                 std::vector<double>(static_cast<std::size_t>(cols_), 0.0));
+    basis_.assign(static_cast<std::size_t>(m), -1);
+
+    int next_artificial = n + m;
+    for (int i = 0; i < m; ++i) {
+      const LpConstraint& c = problem.constraints[static_cast<std::size_t>(i)];
+      auto& row = rows_[static_cast<std::size_t>(i)];
+      for (const auto& [var, coeff] : c.terms) {
+        if (var < 0 || var >= n) throw Error("simplex: variable index out of range");
+        row[static_cast<std::size_t>(var)] += coeff;
+      }
+      row[static_cast<std::size_t>(n + i)] = 1.0;  // slack
+      row[static_cast<std::size_t>(cols_ - 1)] = c.rhs;
+      if (needs_artificial[static_cast<std::size_t>(i)]) {
+        // Normalize to nonnegative rhs: negate the row (slack becomes -1),
+        // then add an artificial to restore a basic column.
+        for (double& v : row) v = -v;
+        row[static_cast<std::size_t>(next_artificial)] = 1.0;
+        basis_[static_cast<std::size_t>(i)] = next_artificial;
+        ++next_artificial;
+      } else {
+        basis_[static_cast<std::size_t>(i)] = n + i;
+      }
+    }
+  }
+
+  // Minimizes the given objective over the current feasible basis.
+  // Returns false if unbounded.
+  bool minimize(const std::vector<double>& costs) {
+    // Reduced-cost row: z_j - c_j form, built fresh.
+    objective_.assign(static_cast<std::size_t>(cols_), 0.0);
+    for (int j = 0; j < cols_; ++j) objective_[static_cast<std::size_t>(j)] = 0.0;
+    for (std::size_t j = 0; j < costs.size(); ++j) objective_[j] = costs[j];
+    // Price out the basic variables.
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const int b = basis_[i];
+      const double cb = b < static_cast<int>(costs.size()) ? costs[static_cast<std::size_t>(b)]
+                                                           : 0.0;
+      if (std::abs(cb) < kEps) continue;
+      for (int j = 0; j < cols_; ++j) {
+        objective_[static_cast<std::size_t>(j)] -= cb * rows_[i][static_cast<std::size_t>(j)];
+      }
+    }
+
+    for (int guard = 0; guard < 100000; ++guard) {
+      // Bland's rule: entering variable = lowest index with negative
+      // reduced cost.
+      int entering = -1;
+      for (int j = 0; j < cols_ - 1; ++j) {
+        if (objective_[static_cast<std::size_t>(j)] < -kEps) {
+          entering = j;
+          break;
+        }
+      }
+      if (entering < 0) return true;  // optimal
+
+      // Ratio test; ties broken by lowest basis index (Bland).
+      int leaving = -1;
+      double best = std::numeric_limits<double>::infinity();
+      for (std::size_t i = 0; i < rows_.size(); ++i) {
+        const double a = rows_[i][static_cast<std::size_t>(entering)];
+        if (a <= kEps) continue;
+        const double ratio = rows_[i][static_cast<std::size_t>(cols_ - 1)] / a;
+        if (ratio < best - kEps ||
+            (ratio < best + kEps && (leaving < 0 || basis_[i] < basis_[static_cast<std::size_t>(
+                                                                  leaving)]))) {
+          best = ratio;
+          leaving = static_cast<int>(i);
+        }
+      }
+      if (leaving < 0) return false;  // unbounded
+      pivot(static_cast<std::size_t>(leaving), entering);
+    }
+    throw Error("simplex: iteration limit exceeded");
+  }
+
+  double value(int var) const {
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      if (basis_[i] == var) return rows_[i][static_cast<std::size_t>(cols_ - 1)];
+    }
+    return 0.0;
+  }
+
+  bool artificials_zero() const {
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      if (basis_[i] >= num_structural_ + num_slack_ &&
+          rows_[i][static_cast<std::size_t>(cols_ - 1)] > 1e-7) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  int num_structural() const { return num_structural_; }
+  int num_slack() const { return num_slack_; }
+  int num_artificial() const { return num_artificial_; }
+  int cols() const { return cols_; }
+
+  // Drives any artificial still in the basis (at value 0) out, so phase 2
+  // cannot reintroduce infeasibility.
+  void expel_artificials() {
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      if (basis_[i] < num_structural_ + num_slack_) continue;
+      for (int j = 0; j < num_structural_ + num_slack_; ++j) {
+        if (std::abs(rows_[i][static_cast<std::size_t>(j)]) > kEps) {
+          pivot(i, j);
+          break;
+        }
+      }
+    }
+  }
+
+ private:
+  void pivot(std::size_t row, int col) {
+    auto& pivot_row = rows_[row];
+    const double p = pivot_row[static_cast<std::size_t>(col)];
+    for (double& v : pivot_row) v /= p;
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      if (i == row) continue;
+      const double factor = rows_[i][static_cast<std::size_t>(col)];
+      if (std::abs(factor) < kEps) continue;
+      for (int j = 0; j < cols_; ++j) {
+        rows_[i][static_cast<std::size_t>(j)] -= factor * pivot_row[static_cast<std::size_t>(j)];
+      }
+    }
+    const double factor = objective_[static_cast<std::size_t>(col)];
+    if (std::abs(factor) > kEps) {
+      for (int j = 0; j < cols_; ++j) {
+        objective_[static_cast<std::size_t>(j)] -= factor * pivot_row[static_cast<std::size_t>(j)];
+      }
+    }
+    basis_[row] = col;
+  }
+
+  int num_structural_ = 0;
+  int num_slack_ = 0;
+  int num_artificial_ = 0;
+  int cols_ = 0;
+  std::vector<std::vector<double>> rows_;
+  std::vector<double> objective_;
+  std::vector<int> basis_;
+};
+
+}  // namespace
+
+LpSolution solve_lp(const LpProblem& problem) {
+  if (static_cast<int>(problem.objective.size()) != problem.num_vars) {
+    throw Error("simplex: objective size does not match variable count");
+  }
+  LpSolution solution;
+  Tableau tableau(problem);
+
+  if (tableau.num_artificial() > 0) {
+    // Phase 1: minimize the artificial sum.
+    std::vector<double> phase1(static_cast<std::size_t>(tableau.cols() - 1), 0.0);
+    for (int j = tableau.num_structural() + tableau.num_slack(); j < tableau.cols() - 1; ++j) {
+      phase1[static_cast<std::size_t>(j)] = 1.0;
+    }
+    if (!tableau.minimize(phase1)) throw Error("simplex: phase 1 unbounded (bug)");
+    if (!tableau.artificials_zero()) {
+      solution.feasible = false;
+      return solution;
+    }
+    tableau.expel_artificials();
+  }
+
+  // Phase 2: the real objective (artificial columns priced at zero; they
+  // are out of the basis and stay out because their reduced costs are
+  // irrelevant once expelled).
+  std::vector<double> phase2(static_cast<std::size_t>(tableau.cols() - 1), 0.0);
+  for (int j = 0; j < problem.num_vars; ++j) {
+    phase2[static_cast<std::size_t>(j)] = problem.objective[static_cast<std::size_t>(j)];
+  }
+  // Forbid artificial re-entry with a prohibitive cost.
+  for (int j = tableau.num_structural() + tableau.num_slack(); j < tableau.cols() - 1; ++j) {
+    phase2[static_cast<std::size_t>(j)] = 1e12;
+  }
+  if (!tableau.minimize(phase2)) {
+    solution.feasible = true;
+    solution.bounded = false;
+    return solution;
+  }
+
+  solution.feasible = true;
+  solution.x.resize(static_cast<std::size_t>(problem.num_vars));
+  for (int j = 0; j < problem.num_vars; ++j) {
+    solution.x[static_cast<std::size_t>(j)] = tableau.value(j);
+  }
+  solution.objective = 0.0;
+  for (int j = 0; j < problem.num_vars; ++j) {
+    solution.objective += problem.objective[static_cast<std::size_t>(j)] *
+                          solution.x[static_cast<std::size_t>(j)];
+  }
+  return solution;
+}
+
+}  // namespace rsg::compact

@@ -1,0 +1,39 @@
+// A small dense two-phase simplex solver.
+//
+// §6.3: the leaf-cell constraint graph "cannot be solved by shortest path
+// algorithms such as Bellman Ford because the weights on the edges are not
+// all constants ... a simple minded way to solve the system would be to
+// convert the graph to a system of linear equations and solve the system
+// using a linear programming algorithm like Simplex" — this is that
+// solver. Problems are tiny (tens of variables), so a dense tableau with
+// Bland's anti-cycling rule is entirely adequate.
+//
+//   minimize  c . x   subject to  sum_j a_ij x_j <= b_i ,  x >= 0
+#pragma once
+
+#include <utility>
+#include <vector>
+
+namespace rsg::compact {
+
+struct LpConstraint {
+  std::vector<std::pair<int, double>> terms;  // (variable index, coefficient)
+  double rhs = 0.0;
+};
+
+struct LpProblem {
+  int num_vars = 0;
+  std::vector<double> objective;  // size num_vars
+  std::vector<LpConstraint> constraints;
+};
+
+struct LpSolution {
+  bool feasible = false;
+  bool bounded = true;
+  std::vector<double> x;
+  double objective = 0.0;
+};
+
+LpSolution solve_lp(const LpProblem& problem);
+
+}  // namespace rsg::compact

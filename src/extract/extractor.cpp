@@ -1,0 +1,133 @@
+#include "extract/extractor.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/error.hpp"
+
+namespace rsg::extract {
+
+namespace {
+
+bool is_conductor(Layer layer) {
+  switch (layer) {
+    case Layer::kMetal1:
+    case Layer::kMetal2:
+    case Layer::kPoly:
+    case Layer::kDiffusion:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_cut(Layer layer) { return layer == Layer::kContactCut || layer == Layer::kContact; }
+
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  std::size_t find(std::size_t v) {
+    while (parent_[v] != v) {
+      parent_[v] = parent_[parent_[v]];
+      v = parent_[v];
+    }
+    return v;
+  }
+  void unite(std::size_t a, std::size_t b) { parent_[find(a)] = find(b); }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+}  // namespace
+
+Netlist extract(const std::vector<LayerBox>& boxes) {
+  const std::size_t n = boxes.size();
+  UnionFind nets(n);
+
+  // Same-layer electrical continuity: touching or overlapping conductors.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!is_conductor(boxes[i].layer)) continue;
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (boxes[j].layer != boxes[i].layer) continue;
+      if (boxes[i].box.abuts_or_intersects(boxes[j].box)) nets.unite(i, j);
+    }
+  }
+
+  // Cuts join every conductor they intersect, across layers.
+  for (std::size_t c = 0; c < n; ++c) {
+    if (!is_cut(boxes[c].layer)) continue;
+    std::size_t first_conductor = n;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!is_conductor(boxes[i].layer)) continue;
+      if (!boxes[c].box.intersects(boxes[i].box)) continue;
+      if (first_conductor == n) {
+        first_conductor = i;
+      } else {
+        nets.unite(first_conductor, i);
+      }
+    }
+  }
+
+  // Devices: connected poly-over-diffusion overlap regions. Collect the
+  // pairwise overlap rectangles, then merge touching ones (a wide poly
+  // strip over a fragmented diffusion area is ONE gate).
+  struct ChannelPiece {
+    Box region;
+    std::size_t poly_box;
+  };
+  std::vector<ChannelPiece> pieces;
+  for (std::size_t p = 0; p < n; ++p) {
+    if (boxes[p].layer != Layer::kPoly) continue;
+    for (std::size_t d = 0; d < n; ++d) {
+      if (boxes[d].layer != Layer::kDiffusion) continue;
+      if (!boxes[p].box.intersects(boxes[d].box)) continue;
+      pieces.push_back({boxes[p].box.intersection(boxes[d].box), p});
+    }
+  }
+  UnionFind channels(pieces.size());
+  for (std::size_t i = 0; i < pieces.size(); ++i) {
+    for (std::size_t j = i + 1; j < pieces.size(); ++j) {
+      if (pieces[i].region.abuts_or_intersects(pieces[j].region)) channels.unite(i, j);
+    }
+  }
+
+  Netlist result;
+  // Compact net ids.
+  std::vector<std::size_t> net_id(n, 0);
+  std::vector<std::size_t> roots;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!is_conductor(boxes[i].layer)) continue;
+    const std::size_t root = nets.find(i);
+    auto it = std::find(roots.begin(), roots.end(), root);
+    if (it == roots.end()) {
+      roots.push_back(root);
+      net_id[i] = roots.size() - 1;
+    } else {
+      net_id[i] = static_cast<std::size_t>(it - roots.begin());
+    }
+  }
+  result.num_nets = roots.size();
+  result.box_net = std::move(net_id);
+
+  // One device per channel component; gate net from any member's poly box.
+  std::vector<bool> emitted(pieces.size(), false);
+  for (std::size_t i = 0; i < pieces.size(); ++i) {
+    const std::size_t root = channels.find(i);
+    if (emitted[root]) continue;
+    emitted[root] = true;
+    Box channel = pieces[root].region;
+    for (std::size_t j = 0; j < pieces.size(); ++j) {
+      if (channels.find(j) == root) channel = channel.bounding_union(pieces[j].region);
+    }
+    result.devices.push_back({channel, result.box_net[pieces[root].poly_box]});
+  }
+  std::sort(result.devices.begin(), result.devices.end(), [](const Device& a, const Device& b) {
+    return std::tuple(a.channel.lo.x, a.channel.lo.y) < std::tuple(b.channel.lo.x, b.channel.lo.y);
+  });
+  return result;
+}
+
+}  // namespace rsg::extract

@@ -1,0 +1,43 @@
+// Circuit extraction over flat mask geometry — a miniature of the EXCL
+// extractor the thesis's Ch. 5 flow uses ("using the RSG for layout
+// generation, EXCL for circuit extraction, and SPICE for circuit
+// simulation"). The integration tests extract generated layouts and check
+// the device/net counts against the architectural model, closing the same
+// loop the thesis closes with SPICE.
+//
+// Model:
+//   * a TRANSISTOR is a connected region of poly-over-diffusion overlap
+//     (the poly strip is the gate; the diffusion on either side
+//     source/drain);
+//   * NETS are maximal connected groups of same-layer touching boxes,
+//     joined across layers by contact cuts (a cut connects every metal1 /
+//     poly / diffusion box it touches); poly-over-diffusion does NOT
+//     connect (that is a device, not a contact);
+//   * symbolic kContact boxes should be expanded (compact/layer_expand)
+//     before extraction; the extractor treats any that remain as cuts.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "geom/box.hpp"
+
+namespace rsg::extract {
+
+struct Device {
+  Box channel;         // the gate overlap region
+  std::size_t gate_net = 0;
+};
+
+struct Netlist {
+  std::size_t num_nets = 0;
+  std::vector<Device> devices;
+  // Net id per input box (parallel to the input vector).
+  std::vector<std::size_t> box_net;
+
+  std::size_t device_count() const { return devices.size(); }
+};
+
+Netlist extract(const std::vector<LayerBox>& boxes);
+
+}  // namespace rsg::extract

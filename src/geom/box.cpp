@@ -1,0 +1,46 @@
+#include "geom/box.hpp"
+
+#include "support/error.hpp"
+
+namespace rsg {
+
+const char* layer_name(Layer layer) {
+  switch (layer) {
+    case Layer::kDiffusion: return "diff";
+    case Layer::kPoly: return "poly";
+    case Layer::kMetal1: return "metal1";
+    case Layer::kMetal2: return "metal2";
+    case Layer::kContactCut: return "cut";
+    case Layer::kImplant: return "implant";
+    case Layer::kWell: return "well";
+    case Layer::kContact: return "contact";
+    case Layer::kLabel: return "label";
+  }
+  return "?";
+}
+
+Layer parse_layer(const std::string& name) {
+  for (int i = 0; i < kNumLayers; ++i) {
+    const Layer layer = static_cast<Layer>(i);
+    if (name == layer_name(layer)) return layer;
+  }
+  throw Error("unknown layer name: '" + name + "'");
+}
+
+Box Box::intersection(const Box& o) const {
+  Box r;
+  r.lo = {std::max(lo.x, o.lo.x), std::max(lo.y, o.lo.y)};
+  r.hi = {std::min(hi.x, o.hi.x), std::min(hi.y, o.hi.y)};
+  if (r.lo.x > r.hi.x || r.lo.y > r.hi.y) return Box{};  // empty
+  return r;
+}
+
+Box Box::bounding_union(const Box& o) const {
+  if (empty() && area() == 0 && lo == Point{} && hi == Point{}) return o;
+  Box r;
+  r.lo = {std::min(lo.x, o.lo.x), std::min(lo.y, o.lo.y)};
+  r.hi = {std::max(hi.x, o.hi.x), std::max(hi.y, o.hi.y)};
+  return r;
+}
+
+}  // namespace rsg

@@ -1,0 +1,85 @@
+// Axis-aligned integer rectangles and mask layers.
+//
+// Cells consist of "boxes of various layers, points, and instances of other
+// cells" (§2.1). Boxes stay axis-aligned under all eight supported
+// orientations, which is precisely why the RSG restricts itself to them.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "geom/point.hpp"
+
+namespace rsg {
+
+// Mask layers. The set covers the nMOS/CMOS layers used by the thesis's
+// examples plus the symbolic kContact layer of §6.4.3 that expands into
+// metal/poly/cuts at mask-creation time.
+enum class Layer : std::uint8_t {
+  kDiffusion = 0,
+  kPoly,
+  kMetal1,
+  kMetal2,
+  kContactCut,
+  kImplant,
+  kWell,
+  kContact,  // symbolic: expanded by compact/layer_expand before mask output
+  kLabel,    // non-mask: numeric interface labels in sample layouts
+};
+
+inline constexpr int kNumLayers = 9;
+
+const char* layer_name(Layer layer);
+Layer parse_layer(const std::string& name);
+
+struct Box {
+  // Half-open is deliberately NOT used: [lo, hi] are inclusive corner
+  // coordinates with lo.x <= hi.x and lo.y <= hi.y (normalized on creation).
+  Point lo;
+  Point hi;
+
+  Box() = default;
+  Box(Point a, Point b)
+      : lo{std::min(a.x, b.x), std::min(a.y, b.y)}, hi{std::max(a.x, b.x), std::max(a.y, b.y)} {}
+  Box(Coord x0, Coord y0, Coord x1, Coord y1) : Box(Point{x0, y0}, Point{x1, y1}) {}
+
+  Coord width() const { return hi.x - lo.x; }
+  Coord height() const { return hi.y - lo.y; }
+  Point center() const { return {(lo.x + hi.x) / 2, (lo.y + hi.y) / 2}; }
+  std::int64_t area() const { return width() * height(); }
+  bool empty() const { return lo.x >= hi.x || lo.y >= hi.y; }
+
+  bool contains(Point p) const { return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y; }
+  bool intersects(const Box& o) const {
+    return lo.x < o.hi.x && o.lo.x < hi.x && lo.y < o.hi.y && o.lo.y < hi.y;
+  }
+  // Touching or overlapping (shared edge counts) — used when merging
+  // fragmented boxes (Fig 6.5).
+  bool abuts_or_intersects(const Box& o) const {
+    return lo.x <= o.hi.x && o.lo.x <= hi.x && lo.y <= o.hi.y && o.lo.y <= hi.y;
+  }
+
+  Box intersection(const Box& o) const;
+  Box bounding_union(const Box& o) const;
+  Box translated(Vec v) const { return Box(lo + v, hi + v); }
+  Box inflated(Coord margin) const {
+    return Box(Point{lo.x - margin, lo.y - margin}, Point{hi.x + margin, hi.y + margin});
+  }
+
+  friend bool operator==(const Box&, const Box&) = default;
+  friend std::ostream& operator<<(std::ostream& os, const Box& b) {
+    return os << "[" << b.lo << ".." << b.hi << "]";
+  }
+};
+
+// A box on a layer — the primitive mask object.
+struct LayerBox {
+  Layer layer = Layer::kMetal1;
+  Box box;
+
+  friend bool operator==(const LayerBox&, const LayerBox&) = default;
+};
+
+}  // namespace rsg

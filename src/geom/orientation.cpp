@@ -1,0 +1,34 @@
+#include "geom/orientation.hpp"
+
+#include "support/error.hpp"
+
+namespace rsg {
+
+const std::array<Orientation, 8>& Orientation::all() {
+  static const std::array<Orientation, 8> kAll = {
+      kNorth, kWest, kSouth, kEast, kMirrorNorth, kMirrorWest, kMirrorSouth, kMirrorEast};
+  return kAll;
+}
+
+Orientation Orientation::from_index(int index) {
+  if (index < 0 || index >= 8) {
+    throw Error("orientation index out of range: " + std::to_string(index));
+  }
+  return Orientation(static_cast<Rotation>(index % 4), index >= 4);
+}
+
+std::string Orientation::name() const {
+  static const char* kRotationNames[4] = {"N", "W", "S", "E"};
+  std::string base = kRotationNames[static_cast<int>(rotation_)];
+  return mirrored_ ? "M" + base : base;
+}
+
+Orientation Orientation::parse(const std::string& name) {
+  for (const Orientation o : all()) {
+    if (o.name() == name) return o;
+  }
+  throw Error("unknown orientation name: '" + name +
+              "' (expected one of N, W, S, E, MN, MW, MS, ME)");
+}
+
+}  // namespace rsg

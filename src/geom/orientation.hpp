@@ -1,0 +1,127 @@
+// The group of the eight axis-preserving planar isometries (§2.6).
+//
+// The paper represents an orientation as the pair (j, k) ∈ Z4 × B meaning
+// e^{i·j·90°} ∘ R^k: optionally reflect about the y axis FIRST (k), then
+// rotate j counter-clockwise quarter turns. Composition and inversion are
+// closed-form on (j, k) — no matrices, no trigonometry — which is the
+// efficiency argument of §2.6 (benchmarked in bench_orientations).
+//
+// Naming follows the thesis: the four rotations are called North (identity),
+// West (one CCW quarter turn), South (half turn) and East (one CW quarter
+// turn). Figure 2.5's coordinate-mapping table is reproduced verbatim by
+// Orientation::apply and checked in tests/orientation_test.cpp.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "geom/point.hpp"
+
+namespace rsg {
+
+enum class Rotation : std::uint8_t {
+  kNorth = 0,  // identity:      (x, y) -> ( x,  y)
+  kWest = 1,   // 90° CCW:       (x, y) -> (-y,  x)
+  kSouth = 2,  // 180°:          (x, y) -> (-x, -y)
+  kEast = 3,   // 90° CW:        (x, y) -> ( y, -x)
+};
+
+class Orientation {
+ public:
+  constexpr Orientation() = default;
+  constexpr Orientation(Rotation rotation, bool mirrored)
+      : rotation_(rotation), mirrored_(mirrored) {}
+
+  // The eight group elements, named <rotation> or M<rotation> where the M
+  // variants reflect about the y axis before rotating.
+  static const Orientation kNorth, kWest, kSouth, kEast;
+  static const Orientation kMirrorNorth, kMirrorWest, kMirrorSouth, kMirrorEast;
+
+  // All eight orientations, for property-test sweeps.
+  static const std::array<Orientation, 8>& all();
+
+  constexpr Rotation rotation() const { return rotation_; }
+  constexpr bool mirrored() const { return mirrored_; }
+
+  // True for the four pure rotations (k = 0).
+  constexpr bool is_rotation() const { return !mirrored_; }
+
+  // Applies the isometry to a vector (the linear part; orientations fix the
+  // origin, §2.1). Point application under a placement lives in Placement.
+  constexpr Vec apply(Vec v) const {
+    const Coord x = mirrored_ ? -v.x : v.x;
+    const Coord y = v.y;
+    switch (rotation_) {
+      case Rotation::kNorth: return {x, y};
+      case Rotation::kWest: return {-y, x};
+      case Rotation::kSouth: return {-x, -y};
+      case Rotation::kEast: return {y, -x};
+    }
+    return {x, y};  // unreachable
+  }
+
+  // Group composition: (a.compose(b)) applies b first, then a — the
+  // operator convention of §2.6 where O = O2 ∘ O1 acts as O2(O1(v)).
+  constexpr Orientation compose(Orientation first) const {
+    // this = e^{i·j2}∘R^{k2}, first = e^{i·j1}∘R^{k1}.
+    // R ∘ e^{i·j} = e^{-i·j} ∘ R  gives:
+    //   j = j2 + j1 (k2 even) or j2 - j1 (k2 odd);  k = k1 XOR k2.
+    const int j2 = static_cast<int>(rotation_);
+    const int j1 = static_cast<int>(first.rotation_);
+    const int j = mirrored_ ? (j2 - j1 + 4) % 4 : (j2 + j1) % 4;
+    return Orientation(static_cast<Rotation>(j), mirrored_ != first.mirrored_);
+  }
+
+  // Group inverse (§2.6.1): reflections are involutions; rotations invert by
+  // negating the quarter-turn count.
+  constexpr Orientation inverse() const {
+    if (mirrored_) return *this;
+    const int j = (4 - static_cast<int>(rotation_)) % 4;
+    return Orientation(static_cast<Rotation>(j), false);
+  }
+
+  friend constexpr bool operator==(Orientation a, Orientation b) = default;
+
+  // Dense index in [0, 8): rotation + 4*mirrored. Stable across runs; used as
+  // a hash key component and for table-driven tests.
+  constexpr int index() const { return static_cast<int>(rotation_) + (mirrored_ ? 4 : 0); }
+  static Orientation from_index(int index);
+
+  // Names as used in sample-layout files: N, W, S, E, MN, MW, MS, ME.
+  std::string name() const;
+  static Orientation parse(const std::string& name);
+
+  // The 2x2 integer matrix of the linear map, column-major [[a c][b d]]
+  // acting as (x,y) -> (a·x + c·y, b·x + d·y). Used by property tests to
+  // cross-check the (j,k) algebra against plain linear algebra, and by the
+  // CIF writer to emit rotation/mirror call transforms.
+  struct Matrix {
+    int a, b, c, d;
+    friend constexpr bool operator==(const Matrix&, const Matrix&) = default;
+  };
+  constexpr Matrix matrix() const {
+    const Vec ex = apply({1, 0});
+    const Vec ey = apply({0, 1});
+    return {static_cast<int>(ex.x), static_cast<int>(ex.y), static_cast<int>(ey.x),
+            static_cast<int>(ey.y)};
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, Orientation o) { return os << o.name(); }
+
+ private:
+  Rotation rotation_ = Rotation::kNorth;
+  bool mirrored_ = false;
+};
+
+inline constexpr Orientation Orientation::kNorth{Rotation::kNorth, false};
+inline constexpr Orientation Orientation::kWest{Rotation::kWest, false};
+inline constexpr Orientation Orientation::kSouth{Rotation::kSouth, false};
+inline constexpr Orientation Orientation::kEast{Rotation::kEast, false};
+inline constexpr Orientation Orientation::kMirrorNorth{Rotation::kNorth, true};
+inline constexpr Orientation Orientation::kMirrorWest{Rotation::kWest, true};
+inline constexpr Orientation Orientation::kMirrorSouth{Rotation::kSouth, true};
+inline constexpr Orientation Orientation::kMirrorEast{Rotation::kEast, true};
+
+}  // namespace rsg

@@ -1,0 +1,45 @@
+// Integer points / vectors in the layout plane.
+//
+// Coordinates are in database units (half-lambda). The paper works with an
+// affine plane whose isometries are restricted to the eight axis-preserving
+// ones (§2.6); integer coordinates make every transform exact, avoiding the
+// "numerical inaccuracy" the paper cites as the reason for rejecting the
+// general e^{ij}∘R^k representation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace rsg {
+
+using Coord = std::int64_t;
+
+struct Point {
+  Coord x = 0;
+  Coord y = 0;
+
+  friend constexpr Point operator+(Point a, Point b) { return {a.x + b.x, a.y + b.y}; }
+  friend constexpr Point operator-(Point a, Point b) { return {a.x - b.x, a.y - b.y}; }
+  constexpr Point operator-() const { return {-x, -y}; }
+  friend constexpr bool operator==(Point a, Point b) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, Point p) {
+    return os << "(" << p.x << "," << p.y << ")";
+  }
+};
+
+// A displacement between two points. The paper's "interface vector" V_ab is a
+// Vec: the deskewed displacement from the point of call of A to the point of
+// call of B (eq 2.2).
+using Vec = Point;
+
+}  // namespace rsg
+
+template <>
+struct std::hash<rsg::Point> {
+  std::size_t operator()(const rsg::Point& p) const noexcept {
+    auto h = static_cast<std::size_t>(p.x) * 0x9E3779B97F4A7C15ull;
+    return h ^ (static_cast<std::size_t>(p.y) + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2));
+  }
+};

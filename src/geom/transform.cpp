@@ -1,0 +1,5 @@
+#include "geom/transform.hpp"
+
+// Placement is header-only; this translation unit exists so the build graph
+// has a stable home if out-of-line helpers are added later.
+namespace rsg {}

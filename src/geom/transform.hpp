@@ -1,0 +1,45 @@
+// Placements: the affine isometries used to call instances (§2.1).
+//
+// An instance of cell B called at (L, O) places every object p of B at
+// L + O(p): the orientation O fixes B's local origin S_b, then S_b lands on
+// the point of call L in the calling coordinate system. Placement is exactly
+// that affine map, with composition/inversion in closed form.
+#pragma once
+
+#include <ostream>
+
+#include "geom/box.hpp"
+#include "geom/orientation.hpp"
+#include "geom/point.hpp"
+
+namespace rsg {
+
+struct Placement {
+  Point location;                         // point of call L
+  Orientation orientation;                // orientation in the call O
+
+  Point apply(Point p) const { return location + orientation.apply(p); }
+  Box apply(const Box& b) const { return Box(apply(b.lo), apply(b.hi)); }
+
+  // The placement of an object of B in C when B is placed in A at `inner`
+  // and A is placed in C at `*this`:  (this ∘ inner)(p) = this(inner(p)).
+  Placement compose(const Placement& inner) const {
+    return Placement{location + orientation.apply(inner.location),
+                     orientation.compose(inner.orientation)};
+  }
+
+  // The inverse map: inverse().apply(apply(p)) == p.
+  Placement inverse() const {
+    const Orientation inv = orientation.inverse();
+    return Placement{-inv.apply(location), inv};
+  }
+
+  friend bool operator==(const Placement&, const Placement&) = default;
+  friend std::ostream& operator<<(std::ostream& os, const Placement& p) {
+    return os << p.orientation << "@" << p.location;
+  }
+};
+
+inline const Placement kIdentityPlacement{};
+
+}  // namespace rsg

@@ -1,0 +1,28 @@
+#include "graph/connectivity_graph.hpp"
+
+#include "support/error.hpp"
+
+namespace rsg {
+
+GraphNode* ConnectivityGraph::make_instance(const Cell* cell) {
+  if (cell == nullptr) throw LayoutError("mk_instance: null cell definition");
+  GraphNode& node = nodes_.emplace_back();
+  node.cell = cell;
+  node.id = static_cast<int>(nodes_.size()) - 1;
+  return &node;
+}
+
+void ConnectivityGraph::connect(GraphNode* from, GraphNode* to, int interface_index) {
+  if (from == nullptr || to == nullptr) throw LayoutError("connect: null graph node");
+  if (from == to) throw LayoutError("connect: cannot connect a node to itself");
+  if (from->expanded() || to->expanded()) {
+    throw LayoutError("connect: node already expanded into cell '" +
+                      (from->expanded() ? from->owner->name() : to->owner->name()) +
+                      "' — its definition is closed");
+  }
+  from->edges.push_back({to, interface_index, /*outgoing=*/true});
+  to->edges.push_back({from, interface_index, /*outgoing=*/false});
+  ++edge_count_;
+}
+
+}  // namespace rsg

@@ -1,0 +1,75 @@
+// Connectivity graphs (Ch. 3, data structures of §4.3/§4.4).
+//
+// Vertices are *partial instances*: the cell type is known but location and
+// orientation are unspecified until the graph is expanded (delayed binding,
+// §3.2). Edges carry an interface index number. The data structure is
+// bilateral — each endpoint holds an edge record pointing at the other —
+// because the traversal root is unknown while macros build subgraphs (§3.4);
+// but the graph itself is DIRECTED: each edge has a privileged direction
+// whose tail is the reference instance of the interface. Direction is what
+// disambiguates interfaces between two instances of the same celltype
+// (Figures 3.5–3.7); for distinct celltypes it is redundant but harmless.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "geom/transform.hpp"
+#include "layout/cell.hpp"
+
+namespace rsg {
+
+class ConnectivityGraph;
+
+struct GraphNode {
+  const Cell* cell = nullptr;  // celltype of the partial instance
+  int id = -1;                 // creation index within the graph (stable)
+
+  struct Edge {
+    GraphNode* other = nullptr;
+    int interface_index = 0;
+    bool outgoing = false;  // direction bit: true = edge emanates here (Fig 4.4)
+  };
+  std::vector<Edge> edges;
+
+  // Filled in by expansion (mk_cell). `owner` is the macrocell the node's
+  // instance was absorbed into; `placement` is the instance's calling
+  // parameters within that cell. Both are needed later by interface
+  // inheritance (§2.5), which is why nodes outlive their expansion.
+  std::optional<Placement> placement;
+  const Cell* owner = nullptr;
+
+  bool expanded() const { return owner != nullptr; }
+};
+
+class ConnectivityGraph {
+ public:
+  ConnectivityGraph() = default;
+  ConnectivityGraph(const ConnectivityGraph&) = delete;
+  ConnectivityGraph& operator=(const ConnectivityGraph&) = delete;
+
+  // mk_instance (§4.4.1): a fresh partial instance of `cell`. The node
+  // pointer is stable for the life of the graph.
+  GraphNode* make_instance(const Cell* cell);
+
+  // connect (§4.4.2): a directed edge `from` -> `to` with the given
+  // interface index; `from` is the interface's reference instance. Both
+  // endpoints get a bilateral edge record. Connecting an already-expanded
+  // node is an error: its cell definition is closed.
+  void connect(GraphNode* from, GraphNode* to, int interface_index);
+
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t edge_count() const { return edge_count_; }
+
+  // Nodes in creation order (used by expansion for deterministic output and
+  // by tests).
+  const std::deque<GraphNode>& nodes() const { return nodes_; }
+
+ private:
+  std::deque<GraphNode> nodes_;  // deque: stable addresses as the graph grows
+  std::size_t edge_count_ = 0;
+};
+
+}  // namespace rsg

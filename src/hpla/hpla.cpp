@@ -1,0 +1,231 @@
+#include "hpla/hpla.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "pla/pla_builder.hpp"
+#include "support/error.hpp"
+
+namespace rsg::hpla {
+
+using pla::kCellH;
+using pla::kCellW;
+using pla::kCompX;
+using pla::kConnectW;
+using pla::kOrX;
+using pla::kTrueX;
+
+void install_pla_library(CellTable& cells) {
+  // Identical geometry to designs/pla.sample (kept in lock-step by
+  // tests/hpla_test.cpp comparing against the RSG pipeline's output).
+  Cell& inbuf = cells.create("in-buf");
+  inbuf.add_box(Layer::kDiffusion, Box(2, 2, 10, 6));
+  inbuf.add_box(Layer::kPoly, Box(5, 0, 7, 8));
+  inbuf.add_box(Layer::kMetal1, Box(0, 0, 12, 2));
+
+  Cell& andc = cells.create("and-cell");
+  andc.add_box(Layer::kMetal1, Box(0, -6, 12, -4));
+  andc.add_box(Layer::kPoly, Box(2, -10, 4, 0));
+  andc.add_box(Layer::kPoly, Box(8, -10, 10, 0));
+
+  Cell& and1 = cells.create("and-1");
+  and1.add_box(Layer::kContactCut, Box(kTrueX, -6, kTrueX + pla::kCutW, -4));
+  and1.add_box(Layer::kImplant, Box(1, -7, 5, -3));
+
+  Cell& and0 = cells.create("and-0");
+  and0.add_box(Layer::kContactCut, Box(kCompX, -6, kCompX + pla::kCutW, -4));
+  and0.add_box(Layer::kImplant, Box(7, -7, 11, -3));
+
+  Cell& connect = cells.create("connect-ao");
+  connect.add_box(Layer::kMetal1, Box(0, -6, 8, -4));
+
+  Cell& orc = cells.create("or-cell");
+  orc.add_box(Layer::kMetal1, Box(0, -6, 12, -4));
+  orc.add_box(Layer::kPoly, Box(5, -10, 7, 0));
+
+  Cell& orx = cells.create("or-x");
+  orx.add_box(Layer::kContactCut, Box(kOrX, -6, kOrX + pla::kCutW, -4));
+  orx.add_box(Layer::kImplant, Box(4, -7, 8, -3));
+
+  Cell& outbuf = cells.create("out-buf");
+  outbuf.add_box(Layer::kDiffusion, Box(2, -6, 10, -2));
+  outbuf.add_box(Layer::kPoly, Box(5, -8, 7, 0));
+}
+
+Cell& build_sample_pla(CellTable& cells) {
+  Cell& sample = cells.create("sample-pla");
+  const Cell* inbuf = &cells.get("in-buf");
+  const Cell* andc = &cells.get("and-cell");
+  const Cell* and1 = &cells.get("and-1");
+  const Cell* and0 = &cells.get("and-0");
+  const Cell* connect = &cells.get("connect-ao");
+  const Cell* orc = &cells.get("or-cell");
+  const Cell* orx = &cells.get("or-x");
+  const Cell* outbuf = &cells.get("out-buf");
+
+  auto place = [&](const Cell* cell, Coord x, Coord y, const char* name) {
+    sample.add_instance(cell, Placement{{x, y}, Orientation::kNorth}, name);
+  };
+
+  // The assembled 2-input / 2-output / 2-term PLA the HPLA user must draw.
+  // Personality: term 1 = in "10" out "10"; term 2 = in "01" out "11".
+  place(inbuf, 0, 0, "ib1");
+  place(inbuf, kCellW, 0, "ib2");
+  for (int t = 0; t < 2; ++t) {
+    const Coord y = -static_cast<Coord>(t) * kCellH;
+    place(andc, 0, y, t == 0 ? "a11" : "a12");
+    place(andc, kCellW, y, t == 0 ? "a21" : "a22");
+    place(connect, 2 * kCellW, y, t == 0 ? "c1" : "c2");
+    place(orc, 2 * kCellW + kConnectW, y, t == 0 ? "o11" : "o12");
+    place(orc, 3 * kCellW + kConnectW, y, t == 0 ? "o21" : "o22");
+  }
+  // Crosspoints for the sample personality.
+  place(and1, 0, 0, "m1");                    // term 1: input 1 = 1
+  place(and0, kCellW, 0, "m2");               // term 1: input 2 = 0
+  place(and0, 0, -kCellH, "m3");              // term 2: input 1 = 0
+  place(and1, kCellW, -kCellH, "m4");         // term 2: input 2 = 1
+  place(orx, 2 * kCellW + kConnectW, 0, "x1");          // term 1 -> out 1
+  place(orx, 2 * kCellW + kConnectW, -kCellH, "x2");    // term 2 -> out 1
+  place(orx, 3 * kCellW + kConnectW, -kCellH, "x3");    // term 2 -> out 2
+  place(outbuf, 2 * kCellW + kConnectW, -2 * kCellH, "ob1");
+  place(outbuf, 3 * kCellW + kConnectW, -2 * kCellH, "ob2");
+  // §1.2.2: "the sample layout for HPLA contained 2 (identical) instances
+  // of the and-sq / connect-ao interface when only one was required" — the
+  // second row's (a22, c2) pair above IS that redundant duplicate; both
+  // rows exist solely so every interface appears somewhere.
+  return sample;
+}
+
+namespace {
+
+std::vector<const Instance*> instances_of(const Cell& sample, const std::string& cell_name) {
+  std::vector<const Instance*> found;
+  for (const Instance& inst : sample.instances()) {
+    if (inst.cell->name() == cell_name) found.push_back(&inst);
+  }
+  return found;
+}
+
+}  // namespace
+
+Description compile_description(const Cell& sample_pla) {
+  Description d;
+  d.sample_instance_count = sample_pla.instances().size();
+
+  const auto ands = instances_of(sample_pla, "and-cell");
+  const auto ors = instances_of(sample_pla, "or-cell");
+  const auto connects = instances_of(sample_pla, "connect-ao");
+  const auto inbufs = instances_of(sample_pla, "in-buf");
+  const auto outbufs = instances_of(sample_pla, "out-buf");
+  if (ands.size() != 4 || ors.size() != 4 || connects.size() != 2 || inbufs.size() != 2 ||
+      outbufs.size() != 2) {
+    throw Error("HPLA: sample layout is not an assembled 2x2x2 PLA");
+  }
+
+  // Relocation analysis: pitches are the coordinate deltas between adjacent
+  // identical cells in the assembled sample.
+  auto xs = [&](const std::vector<const Instance*>& v) {
+    std::vector<Coord> r;
+    for (const Instance* i : v) r.push_back(i->placement.location.x);
+    std::sort(r.begin(), r.end());
+    r.erase(std::unique(r.begin(), r.end()), r.end());
+    return r;
+  };
+  auto ys = [&](const std::vector<const Instance*>& v) {
+    std::vector<Coord> r;
+    for (const Instance* i : v) r.push_back(i->placement.location.y);
+    std::sort(r.begin(), r.end());
+    r.erase(std::unique(r.begin(), r.end()), r.end());
+    return r;
+  };
+
+  const auto and_xs = xs(ands);
+  const auto and_ys = ys(ands);
+  const auto or_xs = xs(ors);
+  d.and_pitch_x = and_xs[1] - and_xs[0];
+  // Rows grow downward: the signed step from row t to row t+1 is the lower
+  // y minus the upper y.
+  d.and_pitch_y = and_ys[0] - and_ys[1];
+  d.or_pitch_x = or_xs[1] - or_xs[0];
+  d.connect_offset_x = connects.front()->placement.location.x - and_xs.back();
+  d.or_offset_x = or_xs.front() - connects.front()->placement.location.x;
+  d.inbuf_offset_y = inbufs.front()->placement.location.y - and_ys.back();
+  d.outbuf_offset_y = outbufs.front()->placement.location.y - ys(ors).front();
+  return d;
+}
+
+const Cell& generate(CellTable& cells, const Description& d, const pla::TruthTable& table,
+                     const std::string& name, GenerateStats* stats) {
+  // Relocation: each plane works on its own COPY of the library cells
+  // (§1.2.2 — a calling cell modifies its copy to suit its needs; here the
+  // AND-plane copy and OR-plane copy of the row cells are distinct cell
+  // definitions even though their geometry is untouched).
+  std::size_t copies = 0;
+  auto relocated = [&](const std::string& base, const std::string& suffix) -> const Cell* {
+    const std::string copy_name = base + "@" + name + suffix;
+    if (const Cell* existing = cells.find(copy_name)) return existing;
+    const Cell& base_cell = cells.get(base);
+    Cell& copy = cells.create(copy_name);
+    for (const LayerBox& lb : base_cell.boxes()) copy.add_box(lb.layer, lb.box);
+    for (const Label& label : base_cell.labels()) copy.add_label(label.text, label.at);
+    ++copies;
+    return &copy;
+  };
+
+  const Cell* andc = relocated("and-cell", ".and");
+  const Cell* and1 = relocated("and-1", ".and");
+  const Cell* and0 = relocated("and-0", ".and");
+  const Cell* orc = relocated("or-cell", ".or");
+  const Cell* orx = relocated("or-x", ".or");
+  const Cell* inbuf = relocated("in-buf", ".and");
+  const Cell* outbuf = relocated("out-buf", ".or");
+  const Cell* connect = relocated("connect-ao", ".mid");
+
+  Cell& out = cells.create(name);
+  std::size_t placed = 0;
+  auto place = [&](const Cell* cell, Coord x, Coord y) {
+    out.add_instance(cell, Placement{{x, y}, Orientation::kNorth});
+    ++placed;
+  };
+
+  const int n = table.num_inputs();
+  const int o = table.num_outputs();
+  const int p = table.num_terms();
+  const Coord or_base = static_cast<Coord>(n - 1) * d.and_pitch_x + d.connect_offset_x +
+                        d.or_offset_x;
+
+  for (int i = 0; i < n; ++i) {
+    place(inbuf, static_cast<Coord>(i) * d.and_pitch_x, d.inbuf_offset_y);
+  }
+  for (int t = 0; t < p; ++t) {
+    const Coord y = static_cast<Coord>(t) * d.and_pitch_y;
+    for (int i = 0; i < n; ++i) {
+      const Coord x = static_cast<Coord>(i) * d.and_pitch_x;
+      place(andc, x, y);
+      const pla::InBit bit = table.terms()[static_cast<std::size_t>(t)]
+                                 .inputs[static_cast<std::size_t>(i)];
+      if (bit == pla::InBit::kOne) place(and1, x, y);
+      if (bit == pla::InBit::kZero) place(and0, x, y);
+    }
+    place(connect, static_cast<Coord>(n - 1) * d.and_pitch_x + d.connect_offset_x, y);
+    for (int j = 0; j < o; ++j) {
+      const Coord x = or_base + static_cast<Coord>(j) * d.or_pitch_x;
+      place(orc, x, y);
+      if (table.terms()[static_cast<std::size_t>(t)].outputs[static_cast<std::size_t>(j)]) {
+        place(orx, x, y);
+      }
+    }
+  }
+  for (int j = 0; j < o; ++j) {
+    place(outbuf, or_base + static_cast<Coord>(j) * d.or_pitch_x,
+          static_cast<Coord>(p - 1) * d.and_pitch_y + d.outbuf_offset_y);
+  }
+
+  if (stats != nullptr) {
+    stats->relocated_cell_copies = copies;
+    stats->instances_placed = placed;
+  }
+  return out;
+}
+
+}  // namespace rsg::hpla

@@ -1,0 +1,67 @@
+// HPLA-style baseline generator (§1.2.2–§1.2.3).
+//
+// HPLA is the first-generation tool the RSG generalizes. Its contract is
+// deliberately more rigid, and this module reproduces that rigidity so the
+// comparison experiments (E10) measure something real:
+//
+//   * the sample layout must be a FULLY ASSEMBLED 2-input / 2-output /
+//     2-product-term PLA (the architecture is hard-coded in the program,
+//     not extracted from the sample) — build_sample_pla constructs what the
+//     user would have to draw, redundant duplicate interface included;
+//   * the sample is first compiled into a DESCRIPTION FILE of relocated
+//     cell definitions and spacing parameters (pitches), §1.2.3;
+//   * generation is cell relocation at those pitches — and because
+//     relocation MODIFIES cell definitions per calling context, cells are
+//     copied ("each calling cell can modify its copy of the subcell",
+//     §1.2.2); the copies are counted so the cost is visible.
+//
+// The geometry matches src/pla exactly, so RSG and HPLA outputs can be
+// compared crosspoint-for-crosspoint.
+#pragma once
+
+#include <string>
+
+#include "layout/cell_table.hpp"
+#include "pla/truth_table.hpp"
+
+namespace rsg::hpla {
+
+// Installs the PLA cell library (same cells as designs/pla.sample).
+void install_pla_library(CellTable& cells);
+
+// Builds the mandatory sample: an assembled 2x2x2 PLA named "sample-pla",
+// personalized with an arbitrary 2-term truth table. Faithfully includes
+// the redundant second instance of the and/connect interface the thesis
+// calls out.
+Cell& build_sample_pla(CellTable& cells);
+
+// The description file (§1.2.3): spacing parameters compiled from the
+// sample by relocation analysis.
+struct Description {
+  Coord and_pitch_x = 0;
+  Coord and_pitch_y = 0;
+  Coord or_pitch_x = 0;
+  Coord connect_offset_x = 0;   // last AND column -> connect-ao
+  Coord or_offset_x = 0;        // connect-ao -> first OR column
+  Coord inbuf_offset_y = 0;     // in-buf relative to its column's first row
+  Coord outbuf_offset_y = 0;    // out-buf relative to its column's last row
+
+  std::size_t sample_instance_count = 0;  // what the user had to draw (E10)
+};
+
+// Compiles the description from the assembled sample. Throws if the sample
+// does not contain the expected 2x2x2 structure.
+Description compile_description(const Cell& sample_pla);
+
+struct GenerateStats {
+  std::size_t relocated_cell_copies = 0;  // per-context cell duplication cost
+  std::size_t instances_placed = 0;
+};
+
+// Generates a PLA named `name` for `table` by relocation at the compiled
+// pitches. The relocated per-plane cell copies are created inside `cells`.
+const Cell& generate(CellTable& cells, const Description& description,
+                     const pla::TruthTable& table, const std::string& name,
+                     GenerateStats* stats = nullptr);
+
+}  // namespace rsg::hpla

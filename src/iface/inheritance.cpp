@@ -1,0 +1,17 @@
+#include "iface/inheritance.hpp"
+
+namespace rsg {
+
+Interface inherit_interface(const Placement& a_in_c, const Placement& b_in_d,
+                            const Interface& i_ab) {
+  // Constructive derivation (equivalent to eq 2.11/2.12, and checked against
+  // them in tests/inheritance_test.cpp): hold C at the identity placement,
+  // so A sits at a_in_c; I_ab then fixes B's absolute placement; D must be
+  // placed so that its copy of B lands exactly there; the interface between
+  // C (at identity) and that placement of D is I_cd by definition.
+  const Placement b_abs = i_ab.place_other(a_in_c);
+  const Placement d_abs = b_abs.compose(b_in_d.inverse());
+  return Interface::from_placements(kIdentityPlacement, d_abs);
+}
+
+}  // namespace rsg

@@ -1,0 +1,25 @@
+// Interface inheritance (§2.5, Figure 2.4).
+//
+// A new interface between macrocells C and D can be computed from any legal
+// interface I_ab between a subcell A of C and a subcell B of D: I_cd is the
+// interface C and D acquire when their subcells are placed with I_ab.
+//
+//   O_cd = O_a^c ∘ O_ab ∘ (O_b^d)^-1                        (eq 2.11)
+//   V_cd = L_a^c + O_a^c V_ab - O_cd L_b^d                   (eq 2.12)
+//
+// This is what lets macrocells built by the system be used to build even
+// larger cells "in an entirely procedural manner with no need for additional
+// layout".
+#pragma once
+
+#include "iface/interface.hpp"
+
+namespace rsg {
+
+// `a_in_c`: calling parameters of the instance of A within C.
+// `b_in_d`: calling parameters of the instance of B within D.
+// `i_ab`  : an existing interface between A and B.
+Interface inherit_interface(const Placement& a_in_c, const Placement& b_in_d,
+                            const Interface& i_ab);
+
+}  // namespace rsg

@@ -1,0 +1,5 @@
+#include "iface/interface.hpp"
+
+// Interface is header-only; translation unit kept for symmetry with the rest
+// of the subsystem.
+namespace rsg {}

@@ -1,0 +1,56 @@
+// Interfaces — the RSG's local placement constraint (§2.2).
+//
+// If instances of cells A and B are called in the same coordinate system,
+// the interface I_ab = (V_ab, O_ab) captures their relative placement:
+// deskew the calling cell so A sits at orientation North; then V_ab is the
+// vector from A's point of call to B's, and O_ab is B's orientation.
+//
+//   O_ab = (O_a)^-1 ∘ O_b                (eq 2.1)
+//   V_ab = (O_a)^-1 (L_b - L_a)          (eq 2.2)
+//
+// Knowing A's placement and I_ab determines B's placement (eq 3.1/3.2), and
+// vice versa through the inverse interface I_ba = (-O_ab^-1 V_ab, O_ab^-1)
+// (eq 2.3/2.4). That bilaterality is what lets the connectivity graph be
+// traversed from either endpoint of an edge (§2.4, §3.4).
+#pragma once
+
+#include <ostream>
+
+#include "geom/transform.hpp"
+
+namespace rsg {
+
+struct Interface {
+  Vec vector;                // V_ab
+  Orientation orientation;   // O_ab
+
+  // The interface defined *by example* from two instances called together in
+  // one coordinate system (the sample layout's definition mechanism, §2.3).
+  static Interface from_placements(const Placement& a, const Placement& b) {
+    const Orientation inv = a.orientation.inverse();
+    return Interface{inv.apply(b.location - a.location), inv.compose(b.orientation)};
+  }
+
+  // I_ba from I_ab (eq 2.3/2.4).
+  Interface inverse() const {
+    const Orientation inv = orientation.inverse();
+    return Interface{-inv.apply(vector), inv};
+  }
+
+  // Expansion step (eq 3.1/3.2): B's placement from A's.
+  //   O_b = O_a ∘ O_ab ;  L_b = O_a(V_ab) + L_a
+  Placement place_other(const Placement& a) const {
+    return Placement{a.location + a.orientation.apply(vector),
+                     a.orientation.compose(orientation)};
+  }
+
+  // A's placement from B's — the other traversal direction.
+  Placement place_reference(const Placement& b) const { return inverse().place_other(b); }
+
+  friend bool operator==(const Interface&, const Interface&) = default;
+  friend std::ostream& operator<<(std::ostream& os, const Interface& i) {
+    return os << "I{V=" << i.vector << ", O=" << i.orientation << "}";
+  }
+};
+
+}  // namespace rsg

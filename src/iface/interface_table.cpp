@@ -1,0 +1,50 @@
+#include "iface/interface_table.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace rsg {
+
+void InterfaceTable::declare(const std::string& cell_a, const std::string& cell_b, int index,
+                             const Interface& iface) {
+  auto insert_one = [&](const std::string& a, const std::string& b, const Interface& value) {
+    auto [it, inserted] = table_.try_emplace(Key{a, b, index}, value);
+    if (!inserted && !(it->second == value)) {
+      throw LayoutError("conflicting redeclaration of interface #" + std::to_string(index) +
+                        " between '" + a + "' and '" + b + "'");
+    }
+  };
+  insert_one(cell_a, cell_b, iface);
+  if (cell_a != cell_b) insert_one(cell_b, cell_a, iface.inverse());
+}
+
+std::optional<Interface> InterfaceTable::find(const std::string& cell_a,
+                                              const std::string& cell_b, int index) const {
+  ++lookups_;
+  auto it = table_.find(Key{cell_a, cell_b, index});
+  if (it == table_.end()) return std::nullopt;
+  return it->second;
+}
+
+Interface InterfaceTable::get(const std::string& cell_a, const std::string& cell_b,
+                              int index) const {
+  std::optional<Interface> iface = find(cell_a, cell_b, index);
+  if (!iface) {
+    throw LayoutError("no interface #" + std::to_string(index) + " between '" + cell_a +
+                      "' and '" + cell_b + "' — is it present in the sample layout?");
+  }
+  return *iface;
+}
+
+std::vector<int> InterfaceTable::indices(const std::string& cell_a,
+                                         const std::string& cell_b) const {
+  std::vector<int> result;
+  for (const auto& [key, value] : table_) {
+    if (key.a == cell_a && key.b == cell_b) result.push_back(key.index);
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+}  // namespace rsg

@@ -1,0 +1,77 @@
+// The interface table (§2.4).
+//
+// A mapping from (cellname1, cellname2, interface index) to interfaces,
+// initialized from the sample layout and augmented as new macrocells declare
+// inherited interfaces (§2.5). Loading I_ab also loads I_ba = I_ab^-1, so
+// either endpoint of a connectivity edge can be derived from the other —
+// "this bilaterality of the interface table is very important" (§2.4).
+//
+// Same-celltype interfaces (A == B) are stored once, in the user-chosen
+// reference direction I°_aa (§3.4); the connectivity graph's directed edges
+// decide whether I°_aa or its inverse applies during expansion.
+//
+// Hash-table backed: the expander does one table access per graph node, so
+// "it is imperative that interface lookup be fast" (§4.5) — see
+// bench_interface_table.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "iface/interface.hpp"
+
+namespace rsg {
+
+class InterfaceTable {
+ public:
+  // Loads I_ab under (cell_a, cell_b, index) and, when the cells differ, the
+  // inverse under (cell_b, cell_a, index). Re-declaring an identical
+  // interface is ignored (HPLA's sample layout contained exactly such
+  // redundant duplicates, §1.2.2); a conflicting redeclaration throws.
+  void declare(const std::string& cell_a, const std::string& cell_b, int index,
+               const Interface& iface);
+
+  std::optional<Interface> find(const std::string& cell_a, const std::string& cell_b,
+                                int index) const;
+
+  // Throws LayoutError with a diagnostic naming the missing triple.
+  Interface get(const std::string& cell_a, const std::string& cell_b, int index) const;
+
+  bool contains(const std::string& cell_a, const std::string& cell_b, int index) const {
+    return find(cell_a, cell_b, index).has_value();
+  }
+
+  // The family of interface indices declared between two cells (Fig 2.3),
+  // sorted ascending.
+  std::vector<int> indices(const std::string& cell_a, const std::string& cell_b) const;
+
+  // Number of stored directed entries (a distinct-cell declaration counts 2,
+  // a same-cell declaration counts 1).
+  std::size_t size() const { return table_.size(); }
+
+  // Total accesses through find/get — instrumentation for E9.
+  std::size_t lookups() const { return lookups_; }
+  void reset_lookup_count() { lookups_ = 0; }
+
+ private:
+  struct Key {
+    std::string a;
+    std::string b;
+    int index;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      const std::size_t ha = std::hash<std::string>{}(k.a);
+      const std::size_t hb = std::hash<std::string>{}(k.b);
+      return ha ^ (hb * 0x9E3779B97F4A7C15ull) ^ (static_cast<std::size_t>(k.index) << 1);
+    }
+  };
+
+  std::unordered_map<Key, Interface, KeyHash> table_;
+  mutable std::size_t lookups_ = 0;
+};
+
+}  // namespace rsg

@@ -1,0 +1,352 @@
+#include "io/cif_reader.hpp"
+
+#include <cctype>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "iface/interface.hpp"
+#include "support/error.hpp"
+
+namespace rsg {
+
+namespace {
+
+// One semicolon-terminated CIF command, split into its leading letters and
+// the remaining token list.
+struct Command {
+  std::string op;                    // "DS", "DF", "L", "B", "C", "9", "94", "E"
+  std::vector<std::string> tokens;   // remaining whitespace-separated fields
+};
+
+std::vector<Command> split_commands(const std::string& text) {
+  std::vector<Command> commands;
+  std::string current;
+  int paren_depth = 0;
+  for (const char c : text) {
+    if (c == '(') {
+      ++paren_depth;  // comment
+      continue;
+    }
+    if (c == ')') {
+      if (paren_depth > 0) --paren_depth;
+      continue;
+    }
+    if (paren_depth > 0) continue;
+    if (c == ';') {
+      // Tokenize.
+      std::vector<std::string> tokens;
+      std::string token;
+      for (const char d : current) {
+        if (std::isspace(static_cast<unsigned char>(d))) {
+          if (!token.empty()) tokens.push_back(std::move(token));
+          token.clear();
+        } else {
+          token.push_back(d);
+        }
+      }
+      if (!token.empty()) tokens.push_back(std::move(token));
+      current.clear();
+      if (tokens.empty()) continue;
+
+      Command cmd;
+      // The op is the leading alphabetic run of the first token; digits
+      // directly attached (e.g. "B10") become the first operand.
+      std::string& head = tokens.front();
+      std::size_t i = 0;
+      while (i < head.size() &&
+             (std::isalpha(static_cast<unsigned char>(head[i])) ||
+              std::isdigit(static_cast<unsigned char>(head[i])) ) &&
+             !std::isdigit(static_cast<unsigned char>(head[0]))) {
+        // alphabetic op (DS, DF, L, B, C, E, MX...)
+        if (!std::isalpha(static_cast<unsigned char>(head[i]))) break;
+        ++i;
+      }
+      if (std::isdigit(static_cast<unsigned char>(head[0]))) {
+        // numeric ops: 9 (name) and 94 (label)
+        cmd.op = head;
+        tokens.erase(tokens.begin());
+      } else {
+        cmd.op = head.substr(0, i);
+        if (i < head.size()) {
+          tokens.front() = head.substr(i);
+        } else {
+          tokens.erase(tokens.begin());
+        }
+      }
+      cmd.tokens = std::move(tokens);
+      commands.push_back(std::move(cmd));
+    } else {
+      current.push_back(c);
+    }
+  }
+  return commands;
+}
+
+Coord to_int(const std::string& token) {
+  try {
+    std::size_t used = 0;
+    const long long v = std::stoll(token, &used);
+    if (used != token.size()) throw Error("");
+    return v;
+  } catch (...) {
+    throw Error("CIF: expected an integer, got '" + token + "'");
+  }
+}
+
+Layer layer_from_cif(const std::string& name) {
+  if (name == "CD") return Layer::kDiffusion;
+  if (name == "CP") return Layer::kPoly;
+  if (name == "CM1" || name == "CM") return Layer::kMetal1;
+  if (name == "CM2") return Layer::kMetal2;
+  if (name == "CC") return Layer::kContactCut;
+  if (name == "CI") return Layer::kImplant;
+  if (name == "CW") return Layer::kWell;
+  if (name == "CX") return Layer::kContact;
+  if (name == "CL") return Layer::kLabel;
+  throw Error("CIF: unknown layer '" + name + "'");
+}
+
+// Applies a CIF transform list (applied left to right to points) into a
+// Placement.
+Placement parse_call_transform(const std::vector<std::string>& tokens, std::size_t start) {
+  Placement total;  // identity
+  std::size_t i = start;
+  auto compose_op = [&total](const Placement& op) { total = op.compose(total); };
+  while (i < tokens.size()) {
+    const std::string& op = tokens[i];
+    if (op == "T") {
+      if (i + 2 >= tokens.size()) throw Error("CIF: T needs two coordinates");
+      compose_op(Placement{{to_int(tokens[i + 1]), to_int(tokens[i + 2])}, Orientation::kNorth});
+      i += 3;
+    } else if (op == "MX") {
+      compose_op(Placement{{0, 0}, Orientation::kMirrorNorth});
+      ++i;
+    } else if (op == "MY") {
+      // y -> -y is reflect-about-y-axis followed by a half turn.
+      compose_op(Placement{{0, 0}, Orientation::kMirrorSouth});
+      ++i;
+    } else if (op == "R") {
+      if (i + 2 >= tokens.size()) throw Error("CIF: R needs a direction vector");
+      const Coord a = to_int(tokens[i + 1]);
+      const Coord b = to_int(tokens[i + 2]);
+      Orientation rot;
+      if (a > 0 && b == 0) {
+        rot = Orientation::kNorth;
+      } else if (a == 0 && b > 0) {
+        rot = Orientation::kWest;
+      } else if (a < 0 && b == 0) {
+        rot = Orientation::kSouth;
+      } else if (a == 0 && b < 0) {
+        rot = Orientation::kEast;
+      } else {
+        throw Error("CIF: only axis-aligned rotations are supported");
+      }
+      compose_op(Placement{{0, 0}, rot});
+      i += 3;
+    } else {
+      throw Error("CIF: unknown call transform '" + op + "'");
+    }
+  }
+  return total;
+}
+
+struct SymbolData {
+  Cell* cell = nullptr;
+  std::string name;
+};
+
+}  // namespace
+
+CifReadResult read_cif(const std::string& text, CellTable& cells) {
+  CifReadResult result;
+  std::map<int, SymbolData> symbols;
+  std::optional<int> open_symbol;
+  Coord scale_num = 1;
+  Coord scale_den = 1;
+  Layer current_layer = Layer::kMetal1;
+  std::vector<std::pair<int, Placement>> pending_calls;  // within the open symbol
+  std::vector<std::pair<int, Placement>> top_calls;
+  std::vector<LayerBox> pending_boxes;
+  std::vector<Label> pending_labels;
+  std::string pending_name;
+
+  auto scaled = [&](Coord v) -> Coord {
+    const Coord scaled_value = v * scale_num;
+    if (scaled_value % scale_den != 0) {
+      throw Error("CIF: coordinate " + std::to_string(v) + " not divisible under scale " +
+                  std::to_string(scale_num) + "/" + std::to_string(scale_den));
+    }
+    return scaled_value / scale_den;
+  };
+
+  auto flush_symbol = [&](int id) {
+    // Materialize the finished DS..DF block as a Cell.
+    std::string name = pending_name.empty() ? ("cif" + std::to_string(id)) : pending_name;
+    if (cells.contains(name)) name += "@cif" + std::to_string(id);
+    Cell& cell = cells.create(name);
+    for (const LayerBox& lb : pending_boxes) cell.add_box(lb.layer, lb.box);
+    for (const Label& label : pending_labels) cell.add_label(label.text, label.at);
+    for (const auto& [callee, placement] : pending_calls) {
+      auto it = symbols.find(callee);
+      if (it == symbols.end()) {
+        throw Error("CIF: call of undefined symbol " + std::to_string(callee) +
+                    " (forward references are not supported)");
+      }
+      cell.add_instance(it->second.cell, placement);
+    }
+    symbols[id] = {&cell, name};
+    pending_boxes.clear();
+    pending_labels.clear();
+    pending_calls.clear();
+    pending_name.clear();
+    ++result.cells_read;
+  };
+
+  for (const Command& cmd : split_commands(text)) {
+    if (cmd.op == "DS") {
+      if (open_symbol) throw Error("CIF: nested DS");
+      if (cmd.tokens.empty()) throw Error("CIF: DS needs a symbol number");
+      open_symbol = static_cast<int>(to_int(cmd.tokens[0]));
+      scale_num = cmd.tokens.size() > 1 ? to_int(cmd.tokens[1]) : 1;
+      scale_den = cmd.tokens.size() > 2 ? to_int(cmd.tokens[2]) : 1;
+      if (scale_num <= 0 || scale_den <= 0) throw Error("CIF: bad DS scale");
+    } else if (cmd.op == "DF") {
+      if (!open_symbol) throw Error("CIF: DF without DS");
+      flush_symbol(*open_symbol);
+      open_symbol.reset();
+      scale_num = scale_den = 1;
+    } else if (cmd.op == "L") {
+      if (cmd.tokens.empty()) throw Error("CIF: L needs a layer name");
+      current_layer = layer_from_cif(cmd.tokens[0]);
+    } else if (cmd.op == "B") {
+      if (cmd.tokens.size() < 4) throw Error("CIF: B needs length width cx cy");
+      Coord w = scaled(to_int(cmd.tokens[0]));
+      Coord h = scaled(to_int(cmd.tokens[1]));
+      const Coord cx2 = to_int(cmd.tokens[2]) * 2;
+      const Coord cy2 = to_int(cmd.tokens[3]) * 2;
+      if (cmd.tokens.size() >= 6) {
+        const Coord dx = to_int(cmd.tokens[4]);
+        const Coord dy = to_int(cmd.tokens[5]);
+        if (dx == 0 && dy != 0) {
+          std::swap(w, h);  // box rotated a quarter turn
+        } else if (!(dy == 0 && dx != 0)) {
+          throw Error("CIF: only axis-aligned box directions are supported");
+        }
+      }
+      // Centers may sit on half coordinates; doubling keeps everything
+      // integral, then the scale must make the corners whole.
+      const Coord lo_x2 = scaled(cx2) - w;
+      const Coord lo_y2 = scaled(cy2) - h;
+      if (lo_x2 % 2 != 0 || lo_y2 % 2 != 0) {
+        throw Error("CIF: box corners land on half coordinates");
+      }
+      Box box(lo_x2 / 2, lo_y2 / 2, lo_x2 / 2 + w, lo_y2 / 2 + h);
+      if (!open_symbol) throw Error("CIF: geometry outside DS/DF is not supported");
+      pending_boxes.push_back({current_layer, box});
+      ++result.boxes_read;
+    } else if (cmd.op == "C") {
+      if (cmd.tokens.empty()) throw Error("CIF: C needs a symbol number");
+      const int callee = static_cast<int>(to_int(cmd.tokens[0]));
+      Placement placement = parse_call_transform(cmd.tokens, 1);
+      placement.location = {scaled(placement.location.x), scaled(placement.location.y)};
+      if (open_symbol) {
+        pending_calls.emplace_back(callee, placement);
+      } else {
+        top_calls.emplace_back(callee, placement);
+      }
+      ++result.calls_read;
+    } else if (cmd.op == "9") {
+      if (cmd.tokens.empty()) throw Error("CIF: 9 needs a name");
+      pending_name = cmd.tokens[0];
+    } else if (cmd.op == "94") {
+      if (cmd.tokens.size() < 3) throw Error("CIF: 94 needs text x y");
+      pending_labels.push_back(
+          {cmd.tokens[0], {scaled(to_int(cmd.tokens[1])), scaled(to_int(cmd.tokens[2]))}});
+    } else if (cmd.op == "E") {
+      break;
+    } else {
+      throw Error("CIF: unsupported command '" + cmd.op + "'");
+    }
+  }
+  if (open_symbol) throw Error("CIF: missing DF");
+
+  if (top_calls.size() == 1 && top_calls[0].second == kIdentityPlacement) {
+    result.top = symbols.at(top_calls[0].first).name;
+  } else if (!top_calls.empty()) {
+    Cell& top = cells.create("ciftop");
+    for (const auto& [callee, placement] : top_calls) {
+      auto it = symbols.find(callee);
+      if (it == symbols.end()) throw Error("CIF: top-level call of undefined symbol");
+      top.add_instance(it->second.cell, placement);
+    }
+    result.top = "ciftop";
+  }
+  return result;
+}
+
+SampleLayoutStats load_sample_layout_cif(const std::string& text, CellTable& cells,
+                                         InterfaceTable& interfaces) {
+  CellTable parsed;
+  read_cif(text, parsed);
+
+  SampleLayoutStats stats;
+  // Ordinary cells copy over; assembly* cells define interfaces by example.
+  std::vector<const Cell*> assemblies;
+  for (const std::string& name : parsed.names_in_order()) {
+    const Cell& cell = parsed.get(name);
+    if (name.rfind("assembly", 0) == 0 || name == "ciftop") {
+      assemblies.push_back(&cell);
+      continue;
+    }
+    Cell& copy = cells.create(name);
+    for (const LayerBox& lb : cell.boxes()) {
+      copy.add_box(lb.layer, lb.box);
+      ++stats.boxes;
+    }
+    for (const Label& label : cell.labels()) {
+      copy.add_label(label.text, label.at);
+      ++stats.points;
+    }
+    for (const Instance& inst : cell.instances()) {
+      copy.add_instance(&cells.get(inst.cell->name()), inst.placement, inst.name);
+    }
+    ++stats.cells;
+  }
+
+  for (const Cell* assembly : assemblies) {
+    stats.assembly_instances += assembly->instances().size();
+    for (const Label& label : assembly->labels()) {
+      // Numeric labels only; others are documentation.
+      int index = 0;
+      try {
+        index = static_cast<int>(to_int(label.text));
+      } catch (...) {
+        continue;
+      }
+      const Instance* first = nullptr;
+      const Instance* second = nullptr;
+      for (const Instance& inst : assembly->instances()) {
+        if (!inst.placement.apply(inst.cell->bounding_box()).contains(label.at)) continue;
+        if (first == nullptr) {
+          first = &inst;
+        } else if (second == nullptr) {
+          second = &inst;
+        } else {
+          throw Error("CIF sample: label '" + label.text +
+                      "' lies inside more than two instances");
+        }
+      }
+      if (first == nullptr || second == nullptr) {
+        throw Error("CIF sample: label '" + label.text +
+                    "' must lie in the overlap of exactly two instances");
+      }
+      interfaces.declare(first->cell->name(), second->cell->name(), index,
+                         Interface::from_placements(first->placement, second->placement));
+      ++stats.interfaces_declared;
+    }
+  }
+  return stats;
+}
+
+}  // namespace rsg

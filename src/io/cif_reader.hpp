@@ -1,0 +1,44 @@
+// CIF 2.0 reader.
+//
+// §4.5: "The RSG maintains its own database and as such it is layout file
+// format independent. The RSG can be made to accept any file format by
+// providing an appropriate parser for the file format." This parser accepts
+// the CIF subset the RSG ecosystem uses — DS/DF symbol definitions with
+// scale factors, L layer selection, axis-aligned B boxes (including rotated
+// direction vectors), C calls with T/R/MX/MY transforms, 9 symbol names and
+// 94 point labels — which covers everything cif_writer emits plus typical
+// hand-written CIF.
+//
+// load_sample_layout_cif treats cells whose name begins with "assembly" as
+// interface-definition scaffolding: their instances plus numeric 94 labels
+// define interfaces by example exactly like the text sample format.
+#pragma once
+
+#include <string>
+
+#include "iface/interface_table.hpp"
+#include "io/sample_layout.hpp"
+#include "layout/cell_table.hpp"
+
+namespace rsg {
+
+struct CifReadResult {
+  // Name of the root cell: the target of the file's top-level call, or a
+  // synthesized "ciftop" holding all top-level calls, or empty if none.
+  std::string top;
+  std::size_t cells_read = 0;
+  std::size_t boxes_read = 0;
+  std::size_t calls_read = 0;
+};
+
+// Parses CIF text into `cells`. Throws rsg::Error on malformed input,
+// forward references, or non-axis-aligned geometry.
+CifReadResult read_cif(const std::string& text, CellTable& cells);
+
+// Sample-layout-from-CIF: ordinary cells go to the cell table; "assembly*"
+// cells are consumed as by-example interface definitions (positional
+// numeric labels in instance overlap regions).
+SampleLayoutStats load_sample_layout_cif(const std::string& text, CellTable& cells,
+                                         InterfaceTable& interfaces);
+
+}  // namespace rsg

@@ -1,0 +1,28 @@
+// CIF 2.0 writer (§4.5: "Two layout file formats (CIF and DEF) are
+// supported").
+//
+// Output is hierarchical: one DS/DF definition per cell reachable from the
+// root, bodies emitted children-first, then a top-level call of the root.
+// All coordinates are doubled and each symbol uses "DS id 1 2" so box
+// centers are always integral regardless of odd widths. Orientations map to
+// CIF call transforms: mirror-about-y is MX (applied first, matching §2.6's
+// reflect-then-rotate order), rotations become "R a b" direction vectors.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "layout/cell.hpp"
+
+namespace rsg {
+
+// Maps our layers to CIF layer names (CD, CP, CM1, ...). kLabel boxes and
+// labels are emitted as "94" user extension records.
+void write_cif(std::ostream& out, const Cell& root);
+
+void write_cif_file(const std::string& path, const Cell& root);
+
+// In-memory convenience (benchmarking the output phase without disk I/O).
+std::string cif_to_string(const Cell& root);
+
+}  // namespace rsg

@@ -1,0 +1,40 @@
+#include "io/def_writer.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <tuple>
+
+#include "layout/flatten.hpp"
+#include "support/error.hpp"
+
+namespace rsg {
+
+void write_def(std::ostream& out, const Cell& root) {
+  std::vector<LayerBox> boxes = flatten_boxes(root);
+  std::sort(boxes.begin(), boxes.end(), [](const LayerBox& a, const LayerBox& b) {
+    return std::tuple(static_cast<int>(a.layer), a.box.lo.x, a.box.lo.y, a.box.hi.x, a.box.hi.y) <
+           std::tuple(static_cast<int>(b.layer), b.box.lo.x, b.box.lo.y, b.box.hi.x, b.box.hi.y);
+  });
+  out << "DEF " << root.name() << " " << boxes.size() << "\n";
+  for (const LayerBox& lb : boxes) {
+    out << "RECT " << layer_name(lb.layer) << " " << lb.box.lo.x << " " << lb.box.lo.y << " "
+        << lb.box.hi.x << " " << lb.box.hi.y << "\n";
+  }
+  out << "END\n";
+}
+
+void write_def_file(const std::string& path, const Cell& root) {
+  std::ofstream out(path);
+  if (!out) throw Error("cannot open DEF output file: " + path);
+  write_def(out, root);
+}
+
+std::string def_to_string(const Cell& root) {
+  std::ostringstream out;
+  write_def(out, root);
+  return out.str();
+}
+
+}  // namespace rsg

@@ -1,0 +1,19 @@
+// Flat rectangle dump — stands in for the thesis's second output format
+// ("DEF", an MIT-internal format, §4.5). One deterministic line per flat
+// box, sorted, so two layouts can be compared with a string equality — the
+// property tests use this to prove generated layouts are independent of
+// graph traversal order.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "layout/cell.hpp"
+
+namespace rsg {
+
+void write_def(std::ostream& out, const Cell& root);
+void write_def_file(const std::string& path, const Cell& root);
+std::string def_to_string(const Cell& root);
+
+}  // namespace rsg

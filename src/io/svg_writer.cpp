@@ -1,0 +1,84 @@
+#include "io/svg_writer.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+
+#include "layout/flatten.hpp"
+#include "support/error.hpp"
+
+namespace rsg {
+
+namespace {
+
+const char* layer_color(Layer layer) {
+  switch (layer) {
+    case Layer::kDiffusion: return "#2e8b57";
+    case Layer::kPoly: return "#cc3333";
+    case Layer::kMetal1: return "#3366cc";
+    case Layer::kMetal2: return "#9933cc";
+    case Layer::kContactCut: return "#111111";
+    case Layer::kImplant: return "#cccc33";
+    case Layer::kWell: return "#bbbbbb";
+    case Layer::kContact: return "#444444";
+    case Layer::kLabel: return "#000000";
+  }
+  return "#000000";
+}
+
+}  // namespace
+
+void write_svg(std::ostream& out, const Cell& root) {
+  FlattenResult flat = flatten(root);
+  Box bbox = root.bounding_box();
+  const Coord margin = 4;
+  bbox = bbox.inflated(margin);
+  const Coord width = std::max<Coord>(bbox.width(), 1);
+  const Coord height = std::max<Coord>(bbox.height(), 1);
+
+  out << "<svg xmlns=\"http://www.w3.org/2000/svg\" viewBox=\"" << bbox.lo.x << " " << -bbox.hi.y
+      << " " << width << " " << height << "\">\n";
+  out << "<!-- cell: " << root.name() << " -->\n";
+
+  // Draw in a stable layer order: wells/implants under diffusion/poly under
+  // metals under cuts.
+  std::stable_sort(flat.boxes.begin(), flat.boxes.end(),
+                   [](const LayerBox& a, const LayerBox& b) {
+                     auto rank = [](Layer l) {
+                       switch (l) {
+                         case Layer::kWell: return 0;
+                         case Layer::kImplant: return 1;
+                         case Layer::kDiffusion: return 2;
+                         case Layer::kPoly: return 3;
+                         case Layer::kContact: return 4;
+                         case Layer::kMetal1: return 5;
+                         case Layer::kMetal2: return 6;
+                         case Layer::kContactCut: return 7;
+                         case Layer::kLabel: return 8;
+                       }
+                       return 9;
+                     };
+                     return rank(a.layer) < rank(b.layer);
+                   });
+
+  for (const LayerBox& lb : flat.boxes) {
+    if (lb.layer == Layer::kLabel) continue;
+    // SVG's y axis grows downward; negate y.
+    out << "<rect x=\"" << lb.box.lo.x << "\" y=\"" << -lb.box.hi.y << "\" width=\""
+        << lb.box.width() << "\" height=\"" << lb.box.height() << "\" fill=\""
+        << layer_color(lb.layer) << "\" fill-opacity=\"0.55\"/>\n";
+  }
+  for (const FlatLabel& fl : flat.labels) {
+    out << "<text x=\"" << fl.at.x << "\" y=\"" << -fl.at.y << "\" font-size=\"3\">" << fl.label.text
+        << "</text>\n";
+  }
+  out << "</svg>\n";
+}
+
+void write_svg_file(const std::string& path, const Cell& root) {
+  std::ofstream out(path);
+  if (!out) throw Error("cannot open SVG output file: " + path);
+  write_svg(out, root);
+}
+
+}  // namespace rsg

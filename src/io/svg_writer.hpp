@@ -1,0 +1,17 @@
+// SVG writer — a modern stand-in for the HPDRAW plots the thesis used to
+// inspect generated layouts. Flattens the hierarchy and draws each mask
+// layer in a fixed color with transparency so overlapping cells (which the
+// RSG allows and HPLA-style abutment does not, §2.3) remain visible.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "layout/cell.hpp"
+
+namespace rsg {
+
+void write_svg(std::ostream& out, const Cell& root);
+void write_svg_file(const std::string& path, const Cell& root);
+
+}  // namespace rsg

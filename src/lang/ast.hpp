@@ -1,0 +1,42 @@
+// AST for the design-file language (Ch. 4, grammar in Appendix A).
+//
+// The language is a Lisp subset with one syntactic extension: *indexed
+// variables*. `l.3`, `c.i` and `c.(- i 1)` denote variables whose name is
+// composed with the value of an index expression at evaluation time; two
+// index positions are allowed (`cl.i.j`, the BNF's "2indexed variable").
+// Index expressions evaluate in the environment of the *use site*, then the
+// mangled name (`l.3`) is looked up like any simple variable — which is how
+// design files address the rows/columns of array structures without list
+// types (§4).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rsg::lang {
+
+struct Expr {
+  enum class Kind {
+    kNumber,  // integer literal
+    kString,  // "double-quoted" literal
+    kVar,     // simple or indexed variable reference
+    kList,    // parenthesized form: call, special form, or bare list
+  };
+
+  Kind kind = Kind::kNumber;
+  std::int64_t number = 0;
+  std::string text;            // kString: contents; kVar: base name
+  std::vector<Expr> indices;   // kVar: 0..2 index expressions
+  std::vector<Expr> elements;  // kList: including the head position
+
+  int line = 0;
+  int column = 0;
+
+  bool is_var(const std::string& name) const { return kind == Kind::kVar && text == name; }
+  bool is_simple_var() const { return kind == Kind::kVar && indices.empty(); }
+};
+
+using Program = std::vector<Expr>;
+
+}  // namespace rsg::lang

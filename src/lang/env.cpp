@@ -1,0 +1,15 @@
+#include "lang/env.hpp"
+
+namespace rsg::lang {
+
+std::string mangle_indexed_name(const std::string& base,
+                                const std::vector<std::int64_t>& indices) {
+  std::string name = base;
+  for (const std::int64_t index : indices) {
+    name += '.';
+    name += std::to_string(index);
+  }
+  return name;
+}
+
+}  // namespace rsg::lang

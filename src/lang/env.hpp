@@ -1,0 +1,51 @@
+// Environments and the §4.1 scoping discipline.
+//
+// Scoping is deliberately two-level, not a lexical chain: a lookup tries the
+// environment of the procedure being executed, then the GLOBAL environment
+// (set up by the parameter file), then the cell table (Figure 4.1). The
+// thesis rejected dynamic scoping because walking the caller chain would be
+// needless work when most free variables name cells or parameters.
+//
+// Environments are heap-shared (EnvPtr) because macros return their frame
+// and callers may retain it indefinitely (§4.2/§4.5); C++ shared_ptr plays
+// the role of the CLU garbage collector here.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "lang/value.hpp"
+
+namespace rsg::lang {
+
+class Environment {
+ public:
+  Environment() = default;
+
+  // Reserves capacity up-front. The thesis's interpreter sizes each frame's
+  // hash table from the procedure's formal+local count to avoid waste.
+  explicit Environment(std::size_t expected_bindings) { bindings_.reserve(expected_bindings); }
+
+  bool contains(const std::string& name) const { return bindings_.contains(name); }
+
+  // nullptr when unbound.
+  const Value* find(const std::string& name) const {
+    auto it = bindings_.find(name);
+    return it == bindings_.end() ? nullptr : &it->second;
+  }
+
+  void set(const std::string& name, Value value) { bindings_[name] = std::move(value); }
+
+  std::size_t size() const { return bindings_.size(); }
+
+  const std::unordered_map<std::string, Value>& bindings() const { return bindings_; }
+
+ private:
+  std::unordered_map<std::string, Value> bindings_;
+};
+
+// Mangles an indexed variable into its flat binding name: ("l", {3}) -> "l.3"
+// and ("cl", {3, 7}) -> "cl.3.7".
+std::string mangle_indexed_name(const std::string& base, const std::vector<std::int64_t>& indices);
+
+}  // namespace rsg::lang

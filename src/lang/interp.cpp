@@ -1,0 +1,334 @@
+#include "lang/interp.hpp"
+
+#include <istream>
+#include <ostream>
+
+#include "support/error.hpp"
+
+namespace rsg::lang {
+
+Interpreter::Interpreter(CellTable& cells, InterfaceTable& interfaces, ConnectivityGraph& graph,
+                         std::ostream* output, std::istream* input)
+    : cells_(cells),
+      interfaces_(interfaces),
+      graph_(graph),
+      global_(std::make_shared<Environment>()),
+      output_(output),
+      input_(input) {
+  global_->set("true", Value::boolean(true));
+  global_->set("false", Value::boolean(false));
+  global_->set("nil", Value::nil());
+  register_handlers();
+}
+
+void Interpreter::fail(const Expr& site, const std::string& message) const {
+  throw LangError(message, site.line, site.column);
+}
+
+void Interpreter::check_arity(const Expr& expr, std::size_t args, const char* name) const {
+  if (expr.elements.size() - 1 != args) {
+    fail(expr, std::string(name) + " expects " + std::to_string(args) + " argument(s), got " +
+                   std::to_string(expr.elements.size() - 1));
+  }
+}
+
+Value Interpreter::run(const Program& program) {
+  Value last;
+  for (const Expr& form : program) last = eval(form, global_);
+  return last;
+}
+
+Value Interpreter::eval(const Expr& expr, const EnvPtr& frame) {
+  switch (expr.kind) {
+    case Expr::Kind::kNumber:
+      return Value::integer(expr.number);
+    case Expr::Kind::kString:
+      return Value::string(expr.text);
+    case Expr::Kind::kVar:
+      return eval_var(expr, frame);
+    case Expr::Kind::kList:
+      return eval_list(expr, frame);
+  }
+  fail(expr, "unreachable expression kind");
+}
+
+Value Interpreter::eval_var(const Expr& expr, const EnvPtr& frame) {
+  return resolve_name(binding_name(expr, frame), frame, expr);
+}
+
+std::string Interpreter::binding_name(const Expr& var, const EnvPtr& frame) {
+  if (var.kind != Expr::Kind::kVar) fail(var, "expected a variable");
+  if (var.indices.empty()) return var.text;
+  std::vector<std::int64_t> indices;
+  indices.reserve(var.indices.size());
+  for (const Expr& index : var.indices) {
+    const Value v = eval(index, frame);
+    if (!v.is_integer()) {
+      fail(index, "index of '" + var.text + "' must evaluate to an integer, got " +
+                      v.type_name());
+    }
+    indices.push_back(v.as_integer());
+  }
+  return mangle_indexed_name(var.text, indices);
+}
+
+Value Interpreter::resolve_name(std::string name, const EnvPtr& frame, const Expr& site) {
+  // §4.1 lookup chain with symbol indirection (Figure 4.1). A bounded hop
+  // count catches accidental cycles like a=b, b=a in the parameter file.
+  for (int hop = 0; hop < 32; ++hop) {
+    ++stats_.variable_lookups;
+    const Value* found = frame->find(name);
+    if (found == nullptr && frame != global_) found = global_->find(name);
+    if (found != nullptr) {
+      if (found->is_symbol()) {
+        name = found->as_symbol().name;
+        continue;
+      }
+      return *found;
+    }
+    const Cell* cell = cells_.find(name);
+    if (cell != nullptr) return Value::cell(cell);
+    fail(site, "unbound variable '" + name + "' (not a parameter, local, or cell name)");
+  }
+  fail(site, "symbol indirection cycle while resolving '" + name + "'");
+}
+
+void Interpreter::assign(const std::string& name, Value value, const EnvPtr& frame) {
+  if (frame->contains(name) || frame == global_ || !global_->contains(name)) {
+    frame->set(name, std::move(value));
+  } else {
+    global_->set(name, std::move(value));
+  }
+}
+
+const Cell* Interpreter::coerce_cell(const Value& value, const Expr& site) {
+  if (value.is_cell()) return value.as_cell();
+  if (value.is_string() || value.is_symbol()) {
+    const std::string& name = value.is_string() ? value.as_string() : value.as_symbol().name;
+    const Cell* cell = cells_.find(name);
+    if (cell != nullptr) return cell;
+    fail(site, "no cell named '" + name + "' in the cell table");
+  }
+  fail(site, std::string("expected a cell, got ") + value.type_name());
+}
+
+std::string Interpreter::coerce_name(const Value& value, const Expr& site) {
+  if (value.is_string()) return value.as_string();
+  if (value.is_symbol()) return value.as_symbol().name;
+  if (value.is_cell()) return value.as_cell()->name();
+  fail(site, std::string("expected a name (string or symbol), got ") + value.type_name());
+}
+
+std::int64_t Interpreter::eval_int(const Expr& expr, const EnvPtr& frame) {
+  const Value v = eval(expr, frame);
+  if (!v.is_integer()) {
+    fail(expr, std::string("expected an integer, got ") + v.type_name());
+  }
+  return v.as_integer();
+}
+
+GraphNode* Interpreter::eval_node(const Expr& expr, const EnvPtr& frame) {
+  const Value v = eval(expr, frame);
+  if (!v.is_node()) {
+    fail(expr, std::string("expected an instance node, got ") + v.type_name());
+  }
+  return v.as_node();
+}
+
+Value Interpreter::eval_list(const Expr& expr, const EnvPtr& frame) {
+  if (expr.elements.empty()) fail(expr, "cannot evaluate an empty list");
+  const Expr& head = expr.elements.front();
+  if (!head.is_simple_var()) fail(head, "operator position must be a plain name");
+
+  auto handler = handlers_.find(head.text);
+  try {
+    if (handler != handlers_.end()) return (this->*handler->second)(expr, frame);
+
+    auto def = definitions_.find(head.text);
+    if (def != definitions_.end()) return call_definition(def->second, expr, frame);
+  } catch (const LangError&) {
+    throw;
+  } catch (const Error& e) {
+    // Attach the call site to errors raised by value coercions etc.
+    fail(expr, e.what());
+  }
+  fail(head, "unknown function or macro '" + head.text + "'");
+}
+
+Value Interpreter::call_definition(const Definition& def, const Expr& expr, const EnvPtr& frame) {
+  const std::size_t argc = expr.elements.size() - 1;
+  if (argc != def.formals.size()) {
+    fail(expr, "'" + def.name + "' expects " + std::to_string(def.formals.size()) +
+                   " argument(s), got " + std::to_string(argc));
+  }
+  if (depth_ >= kMaxDepth) fail(expr, "call depth limit exceeded (runaway recursion?)");
+
+  // Size the frame from the formal+local count, as §4.5 prescribes.
+  auto callee = std::make_shared<Environment>(def.formals.size() + def.locals.size());
+  for (std::size_t i = 0; i < def.formals.size(); ++i) {
+    callee->set(def.formals[i], eval(expr.elements[i + 1], frame));
+  }
+  for (const std::string& local : def.locals) callee->set(local, Value::nil());
+
+  ++stats_.frames_created;
+  ++stats_.procedure_calls;
+  ++depth_;
+  stats_.max_call_depth = std::max(stats_.max_call_depth, depth_);
+  Value last;
+  try {
+    last = eval_body(def.body, 0, callee);
+  } catch (...) {
+    --depth_;
+    throw;
+  }
+  --depth_;
+
+  // Functions return their last value; macros return their evaluation
+  // environment so callers can pick results with subcell (§4.2).
+  return def.is_macro ? Value::environment(std::move(callee)) : last;
+}
+
+Value Interpreter::eval_body(const std::vector<Expr>& body, std::size_t first,
+                             const EnvPtr& frame) {
+  Value last;
+  for (std::size_t i = first; i < body.size(); ++i) last = eval(body[i], frame);
+  return last;
+}
+
+// ---------------------------------------------------------------------------
+// Special forms
+
+void Interpreter::define_procedure(const Expr& expr, bool is_macro) {
+  const char* what = is_macro ? "macro" : "defun";
+  if (expr.elements.size() < 3) {
+    fail(expr, std::string(what) + " needs a name and a formals list");
+  }
+  const Expr& name_expr = expr.elements[1];
+  if (!name_expr.is_simple_var()) fail(name_expr, "procedure name must be a plain name");
+
+  Definition def;
+  def.name = name_expr.text;
+  def.is_macro = is_macro;
+
+  // §4.2: the interpreter must classify calls ahead of time, so macro names
+  // must begin with 'm' and function names must not.
+  if (is_macro && (def.name.empty() || def.name.front() != 'm')) {
+    fail(name_expr, "macro name '" + def.name + "' must begin with 'm'");
+  }
+  if (!is_macro && !def.name.empty() && def.name.front() == 'm') {
+    fail(name_expr, "function name '" + def.name +
+                        "' must not begin with 'm' (reserved for macros)");
+  }
+  if (handlers_.contains(def.name)) {
+    fail(name_expr, "'" + def.name + "' is a built-in and cannot be redefined");
+  }
+
+  const Expr& formals = expr.elements[2];
+  if (formals.kind != Expr::Kind::kList) fail(formals, "formals must be a parenthesized list");
+  for (const Expr& formal : formals.elements) {
+    if (!formal.is_simple_var()) fail(formal, "formal parameter must be a plain name");
+    def.formals.push_back(formal.text);
+  }
+
+  std::size_t body_start = 3;
+  if (body_start < expr.elements.size()) {
+    const Expr& maybe_locals = expr.elements[body_start];
+    if (maybe_locals.kind == Expr::Kind::kList && !maybe_locals.elements.empty() &&
+        maybe_locals.elements.front().is_var("locals")) {
+      for (std::size_t i = 1; i < maybe_locals.elements.size(); ++i) {
+        const Expr& local = maybe_locals.elements[i];
+        if (!local.is_simple_var()) fail(local, "local must be a plain name");
+        def.locals.push_back(local.text);
+      }
+      ++body_start;
+    }
+  }
+  def.body.assign(expr.elements.begin() + static_cast<std::ptrdiff_t>(body_start),
+                  expr.elements.end());
+
+  definitions_[def.name] = std::move(def);
+}
+
+Value Interpreter::sf_defun(const Expr& expr, const EnvPtr&) {
+  define_procedure(expr, /*is_macro=*/false);
+  return Value::symbol(expr.elements[1].text);
+}
+
+Value Interpreter::sf_macro(const Expr& expr, const EnvPtr&) {
+  define_procedure(expr, /*is_macro=*/true);
+  return Value::symbol(expr.elements[1].text);
+}
+
+Value Interpreter::sf_cond(const Expr& expr, const EnvPtr& frame) {
+  for (std::size_t i = 1; i < expr.elements.size(); ++i) {
+    const Expr& clause = expr.elements[i];
+    if (clause.kind != Expr::Kind::kList || clause.elements.empty()) {
+      fail(clause, "cond clause must be (test statement...)");
+    }
+    if (eval(clause.elements[0], frame).truthy()) {
+      Value last;
+      for (std::size_t k = 1; k < clause.elements.size(); ++k) {
+        last = eval(clause.elements[k], frame);
+      }
+      return last;
+    }
+  }
+  return Value::nil();
+}
+
+Value Interpreter::sf_do(const Expr& expr, const EnvPtr& frame) {
+  // (do (var init next exit) body...) — exit is tested BEFORE each
+  // iteration, so (do (i 2 (+ 1 i) (> i 1)) ...) runs zero times.
+  if (expr.elements.size() < 2 || expr.elements[1].kind != Expr::Kind::kList ||
+      expr.elements[1].elements.size() != 4) {
+    fail(expr, "do expects (do (var init next exit-condition) body...)");
+  }
+  const Expr& spec = expr.elements[1];
+  const Expr& var = spec.elements[0];
+  if (!var.is_simple_var()) fail(var, "do loop variable must be a plain name");
+
+  frame->set(var.text, eval(spec.elements[1], frame));
+  Value last;
+  for (;;) {
+    if (eval(spec.elements[3], frame).truthy()) break;
+    for (std::size_t i = 2; i < expr.elements.size(); ++i) last = eval(expr.elements[i], frame);
+    frame->set(var.text, eval(spec.elements[2], frame));
+  }
+  return last;
+}
+
+Value Interpreter::sf_prog(const Expr& expr, const EnvPtr& frame) {
+  Value last;
+  for (std::size_t i = 1; i < expr.elements.size(); ++i) last = eval(expr.elements[i], frame);
+  return last;
+}
+
+Value Interpreter::sf_assign(const Expr& expr, const EnvPtr& frame) {
+  check_arity(expr, 2, "assign");
+  const std::string name = binding_name(expr.elements[1], frame);
+  Value value = eval(expr.elements[2], frame);
+  assign(name, value, frame);
+  return value;
+}
+
+Value Interpreter::sf_print(const Expr& expr, const EnvPtr& frame) {
+  Value last;
+  std::string text;
+  for (std::size_t i = 1; i < expr.elements.size(); ++i) {
+    last = eval(expr.elements[i], frame);
+    if (i > 1) text += ' ';
+    text += last.to_display_string();
+  }
+  if (output_ != nullptr) *output_ << text << '\n';
+  return last;
+}
+
+Value Interpreter::sf_read(const Expr& expr, const EnvPtr&) {
+  check_arity(expr, 0, "read");
+  if (input_ == nullptr) fail(expr, "read: no input stream attached to the interpreter");
+  std::int64_t v = 0;
+  if (!(*input_ >> v)) fail(expr, "read: no integer available on the input stream");
+  return Value::integer(v);
+}
+
+}  // namespace rsg::lang

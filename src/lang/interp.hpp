@@ -1,0 +1,177 @@
+// The design-file interpreter (Ch. 4).
+//
+// Embeds the RSG graph primitives (mk_instance, connect, mk_cell, subcell,
+// declare_interface, array) in a Lisp-subset evaluator with:
+//   * two procedure classes — functions (return last value) and macros
+//     (return their whole evaluation environment, §4.2); macro names must
+//     begin with 'm' so calls are classifiable ahead of time;
+//   * the §4.1 scoping rule — procedure frame, then global environment,
+//     then cell table — with symbol re-resolution so parameter files can
+//     rename design-file variables onto sample-layout cells (Figure 4.1);
+//   * indexed variables, cond / do / prog control flow, and integer
+//     arithmetic (+ - * // mod, comparisons, and/or/not).
+//
+// The interpreter mutates three externally owned stores: the cell table, the
+// interface table, and the connectivity-graph arena. That split mirrors
+// Figure 1.1 — the procedural domain (this interpreter) never touches
+// geometry; it only builds graphs and asks for their expansion.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/connectivity_graph.hpp"
+#include "iface/interface_table.hpp"
+#include "lang/ast.hpp"
+#include "lang/env.hpp"
+#include "lang/value.hpp"
+#include "layout/cell_table.hpp"
+
+namespace rsg::lang {
+
+class Interpreter {
+ public:
+  Interpreter(CellTable& cells, InterfaceTable& interfaces, ConnectivityGraph& graph,
+              std::ostream* output = nullptr, std::istream* input = nullptr);
+
+  // Evaluates each top-level form against the global frame; returns the last
+  // value.
+  Value run(const Program& program);
+
+  Value eval(const Expr& expr, const EnvPtr& frame);
+
+  const EnvPtr& global() const { return global_; }
+  void set_global(const std::string& name, Value value) { global_->set(name, std::move(value)); }
+
+  CellTable& cells() { return cells_; }
+  InterfaceTable& interfaces() { return interfaces_; }
+  ConnectivityGraph& graph() { return graph_; }
+
+  struct Stats {
+    std::size_t frames_created = 0;
+    std::size_t procedure_calls = 0;
+    std::size_t variable_lookups = 0;
+    std::size_t cells_made = 0;
+    int max_call_depth = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  // --- helpers shared with builtins.cpp ---------------------------------
+
+  // Full §4.1 resolution of `name`: frame -> global -> cell table, following
+  // symbol values (Figure 4.1's corecell -> basiccell -> cell definition).
+  Value resolve_name(std::string name, const EnvPtr& frame, const Expr& site);
+
+  // Evaluates a kVar's indices in `frame` and returns the mangled binding
+  // name ("l.3").
+  std::string binding_name(const Expr& var, const EnvPtr& frame);
+
+  // Assignment discipline for assign/setq/mk_instance/do: update the local
+  // binding if one exists, else an existing global, else create locally.
+  void assign(const std::string& name, Value value, const EnvPtr& frame);
+
+  // Coercions used by graph builtins. `coerce_cell` accepts cell values
+  // directly, or strings/symbols naming a cell in the table.
+  const Cell* coerce_cell(const Value& value, const Expr& site);
+  std::string coerce_name(const Value& value, const Expr& site);  // string or symbol
+
+  // Encoding tables (§4: "primitives for manipulating encoding tables such
+  // as PLA truth tables have also been added"). When a table is attached,
+  // design files read it through the tt_inputs / tt_outputs / tt_terms /
+  // tt_in / tt_out builtins (term and column indices are 1-based, matching
+  // the language's do-loop conventions).
+  struct EncodingTable {
+    int inputs = 0;
+    int outputs = 0;
+    std::vector<std::vector<int>> in;   // per term: 0, 1, or 2 (don't-care)
+    std::vector<std::vector<int>> out;  // per term: 0 or 1
+  };
+  void set_encoding_table(const EncodingTable* table) { encoding_ = table; }
+
+ private:
+  struct Definition {
+    std::string name;
+    bool is_macro = false;
+    std::vector<std::string> formals;
+    std::vector<std::string> locals;
+    std::vector<Expr> body;
+  };
+
+  using Handler = Value (Interpreter::*)(const Expr&, const EnvPtr&);
+
+  Value eval_list(const Expr& expr, const EnvPtr& frame);
+  Value eval_var(const Expr& expr, const EnvPtr& frame);
+  Value call_definition(const Definition& def, const Expr& expr, const EnvPtr& frame);
+  Value eval_body(const std::vector<Expr>& body, std::size_t first, const EnvPtr& frame);
+
+  void define_procedure(const Expr& expr, bool is_macro);
+
+  // Special forms and control flow (interp.cpp).
+  Value sf_defun(const Expr&, const EnvPtr&);
+  Value sf_macro(const Expr&, const EnvPtr&);
+  Value sf_cond(const Expr&, const EnvPtr&);
+  Value sf_do(const Expr&, const EnvPtr&);
+  Value sf_prog(const Expr&, const EnvPtr&);
+  Value sf_assign(const Expr&, const EnvPtr&);
+  Value sf_print(const Expr&, const EnvPtr&);
+  Value sf_read(const Expr&, const EnvPtr&);
+
+  // Arithmetic / logic (builtins.cpp).
+  Value b_add(const Expr&, const EnvPtr&);
+  Value b_sub(const Expr&, const EnvPtr&);
+  Value b_mul(const Expr&, const EnvPtr&);
+  Value b_div(const Expr&, const EnvPtr&);
+  Value b_mod(const Expr&, const EnvPtr&);
+  Value b_eq(const Expr&, const EnvPtr&);
+  Value b_ne(const Expr&, const EnvPtr&);
+  Value b_gt(const Expr&, const EnvPtr&);
+  Value b_lt(const Expr&, const EnvPtr&);
+  Value b_ge(const Expr&, const EnvPtr&);
+  Value b_le(const Expr&, const EnvPtr&);
+  Value b_and(const Expr&, const EnvPtr&);
+  Value b_or(const Expr&, const EnvPtr&);
+  Value b_not(const Expr&, const EnvPtr&);
+
+  // Graph primitives (builtins.cpp).
+  Value b_mk_instance(const Expr&, const EnvPtr&);
+  Value b_connect(const Expr&, const EnvPtr&);
+  Value b_mk_cell(const Expr&, const EnvPtr&);
+  Value b_subcell(const Expr&, const EnvPtr&);
+  Value b_declare_interface(const Expr&, const EnvPtr&);
+  Value b_array(const Expr&, const EnvPtr&);
+
+  // Encoding-table access (builtins.cpp).
+  Value b_tt_inputs(const Expr&, const EnvPtr&);
+  Value b_tt_outputs(const Expr&, const EnvPtr&);
+  Value b_tt_terms(const Expr&, const EnvPtr&);
+  Value b_tt_in(const Expr&, const EnvPtr&);
+  Value b_tt_out(const Expr&, const EnvPtr&);
+  const EncodingTable& require_encoding(const Expr& site) const;
+
+  void register_handlers();
+  [[noreturn]] void fail(const Expr& site, const std::string& message) const;
+  void check_arity(const Expr& expr, std::size_t args, const char* name) const;
+  std::int64_t eval_int(const Expr& expr, const EnvPtr& frame);
+  GraphNode* eval_node(const Expr& expr, const EnvPtr& frame);
+
+  CellTable& cells_;
+  InterfaceTable& interfaces_;
+  ConnectivityGraph& graph_;
+  EnvPtr global_;
+  std::ostream* output_;
+  std::istream* input_;
+  const EncodingTable* encoding_ = nullptr;
+
+  std::unordered_map<std::string, Handler> handlers_;
+  std::unordered_map<std::string, Definition> definitions_;
+
+  int depth_ = 0;
+  static constexpr int kMaxDepth = 2000;
+  Stats stats_;
+
+  friend struct BuiltinRegistrar;
+};
+
+}  // namespace rsg::lang

@@ -1,0 +1,119 @@
+#include "lang/lexer.hpp"
+
+#include <cctype>
+
+#include "support/error.hpp"
+
+namespace rsg::lang {
+
+namespace {
+
+bool is_symbol_char(char c) {
+  if (std::isalnum(static_cast<unsigned char>(c))) return true;
+  switch (c) {
+    case '-': case '_': case '+': case '*': case '/': case '=':
+    case '<': case '>': case '?': case '!':
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+std::vector<Token> tokenize(const std::string& source) {
+  std::vector<Token> tokens;
+  int line = 1;
+  int column = 1;
+  std::size_t i = 0;
+
+  auto advance = [&](std::size_t n = 1) {
+    for (std::size_t k = 0; k < n && i < source.size(); ++k, ++i) {
+      if (source[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+    }
+  };
+
+  while (i < source.size()) {
+    const char c = source[i];
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance();
+      continue;
+    }
+    if (c == ';') {  // comment to end of line
+      while (i < source.size() && source[i] != '\n') advance();
+      continue;
+    }
+
+    Token token;
+    token.line = line;
+    token.column = column;
+
+    if (c == '(') {
+      token.kind = Token::Kind::kLParen;
+      advance();
+    } else if (c == ')') {
+      token.kind = Token::Kind::kRParen;
+      advance();
+    } else if (c == '.') {
+      token.kind = Token::Kind::kDot;
+      advance();
+    } else if (c == '"') {
+      token.kind = Token::Kind::kString;
+      advance();
+      std::string text;
+      while (i < source.size() && source[i] != '"') {
+        if (source[i] == '\n') throw LangError("unterminated string literal", token.line, token.column);
+        text.push_back(source[i]);
+        advance();
+      }
+      if (i >= source.size()) throw LangError("unterminated string literal", token.line, token.column);
+      advance();  // closing quote
+      token.text = std::move(text);
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '-' && i + 1 < source.size() &&
+                std::isdigit(static_cast<unsigned char>(source[i + 1])))) {
+      token.kind = Token::Kind::kNumber;
+      std::string digits;
+      if (c == '-') {
+        digits.push_back('-');
+        advance();
+      }
+      while (i < source.size() && std::isdigit(static_cast<unsigned char>(source[i]))) {
+        digits.push_back(source[i]);
+        advance();
+      }
+      // A digit run immediately followed by a symbol char would be a
+      // malformed token like `12abc`.
+      if (i < source.size() && is_symbol_char(source[i])) {
+        throw LangError("malformed number '" + digits + std::string(1, source[i]) + "...'",
+                        token.line, token.column);
+      }
+      token.number = std::stoll(digits);
+    } else if (is_symbol_char(c)) {
+      token.kind = Token::Kind::kSymbol;
+      std::string text;
+      while (i < source.size() && is_symbol_char(source[i])) {
+        text.push_back(source[i]);
+        advance();
+      }
+      token.text = std::move(text);
+    } else {
+      throw LangError(std::string("unexpected character '") + c + "'", line, column);
+    }
+    tokens.push_back(std::move(token));
+  }
+
+  Token end;
+  end.kind = Token::Kind::kEnd;
+  end.line = line;
+  end.column = column;
+  tokens.push_back(end);
+  return tokens;
+}
+
+}  // namespace rsg::lang

@@ -1,0 +1,29 @@
+// Tokenizer for the design-file language.
+//
+// Token classes: parens, dot (the indexed-variable separator), integer
+// literals, string literals, and symbols. `;` starts a comment to end of
+// line (the thesis's files carry none, but ours do). Symbols may contain
+// letters, digits and - _ + * / = < > ? !, so `mk_instance`, `basic-cell`,
+// `//` and `>=` all lex as single symbols; a leading `-` directly followed
+// by a digit lexes as a negative number.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rsg::lang {
+
+struct Token {
+  enum class Kind { kLParen, kRParen, kDot, kNumber, kString, kSymbol, kEnd };
+
+  Kind kind = Kind::kEnd;
+  std::int64_t number = 0;
+  std::string text;
+  int line = 1;
+  int column = 1;
+};
+
+std::vector<Token> tokenize(const std::string& source);
+
+}  // namespace rsg::lang

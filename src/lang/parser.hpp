@@ -1,0 +1,21 @@
+// Recursive-descent parser for the Appendix A grammar.
+//
+// Produces the generic Expr tree of ast.hpp. Special forms (defun, macro,
+// cond, do, ...) are recognized by the interpreter, not the parser, so the
+// grammar here is just: program := form*; form := NUMBER | STRING | variable
+// | '(' form* ')'; variable := SYMBOL ('.' index){0,2}; index := NUMBER |
+// SYMBOL | '(' form* ')'.
+#pragma once
+
+#include <string>
+
+#include "lang/ast.hpp"
+
+namespace rsg::lang {
+
+Program parse_program(const std::string& source);
+
+// Parses exactly one form (testing convenience).
+Expr parse_form(const std::string& source);
+
+}  // namespace rsg::lang

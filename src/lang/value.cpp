@@ -1,0 +1,82 @@
+#include "lang/value.hpp"
+
+#include "support/error.hpp"
+
+namespace rsg::lang {
+
+namespace {
+
+[[noreturn]] void type_error(const char* expected, const char* actual) {
+  throw Error(std::string("type error: expected ") + expected + ", got " + actual);
+}
+
+}  // namespace
+
+std::int64_t Value::as_integer() const {
+  if (!is_integer()) type_error("integer", type_name());
+  return std::get<std::int64_t>(storage_);
+}
+
+bool Value::as_boolean() const {
+  if (!is_boolean()) type_error("boolean", type_name());
+  return std::get<bool>(storage_);
+}
+
+const std::string& Value::as_string() const {
+  if (!is_string()) type_error("string", type_name());
+  return std::get<std::string>(storage_);
+}
+
+const Symbol& Value::as_symbol() const {
+  if (!is_symbol()) type_error("symbol", type_name());
+  return std::get<Symbol>(storage_);
+}
+
+const Cell* Value::as_cell() const {
+  if (!is_cell()) type_error("cell", type_name());
+  return std::get<const Cell*>(storage_);
+}
+
+GraphNode* Value::as_node() const {
+  if (!is_node()) type_error("instance node", type_name());
+  return std::get<GraphNode*>(storage_);
+}
+
+const EnvPtr& Value::as_environment() const {
+  if (!is_environment()) type_error("environment", type_name());
+  return std::get<EnvPtr>(storage_);
+}
+
+bool Value::truthy() const {
+  if (is_nil()) return false;
+  if (is_boolean()) return std::get<bool>(storage_);
+  if (is_integer()) return std::get<std::int64_t>(storage_) != 0;
+  return true;
+}
+
+const char* Value::type_name() const {
+  if (is_nil()) return "nil";
+  if (is_integer()) return "integer";
+  if (is_boolean()) return "boolean";
+  if (is_string()) return "string";
+  if (is_symbol()) return "symbol";
+  if (is_cell()) return "cell";
+  if (is_node()) return "instance node";
+  return "environment";
+}
+
+std::string Value::to_display_string() const {
+  if (is_nil()) return "nil";
+  if (is_integer()) return std::to_string(std::get<std::int64_t>(storage_));
+  if (is_boolean()) return std::get<bool>(storage_) ? "true" : "false";
+  if (is_string()) return std::get<std::string>(storage_);
+  if (is_symbol()) return std::get<Symbol>(storage_).name;
+  if (is_cell()) return "<cell " + std::get<const Cell*>(storage_)->name() + ">";
+  if (is_node()) {
+    const GraphNode* n = std::get<GraphNode*>(storage_);
+    return "<node #" + std::to_string(n->id) + " of " + n->cell->name() + ">";
+  }
+  return "<environment>";
+}
+
+}  // namespace rsg::lang

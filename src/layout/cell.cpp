@@ -1,0 +1,46 @@
+#include "layout/cell.hpp"
+
+#include "support/error.hpp"
+
+namespace rsg {
+
+Box Instance::bounding_box() const {
+  if (cell == nullptr) throw LayoutError("instance has no cell definition");
+  return placement.apply(cell->bounding_box());
+}
+
+void Cell::add_instance(const Cell* cell, Placement placement, std::string name) {
+  if (cell == nullptr) throw LayoutError("cannot instantiate a null cell in '" + name_ + "'");
+  if (cell == this) throw LayoutError("cell '" + name_ + "' cannot instantiate itself");
+  instances_.push_back({cell, placement, std::move(name)});
+}
+
+Box Cell::bounding_box() const {
+  Box bbox;
+  bool any = false;
+  for (const LayerBox& lb : boxes_) {
+    if (lb.layer == Layer::kLabel) continue;
+    bbox = any ? bbox.bounding_union(lb.box) : lb.box;
+    any = true;
+  }
+  for (const Instance& inst : instances_) {
+    const Box b = inst.bounding_box();
+    bbox = any ? bbox.bounding_union(b) : b;
+    any = true;
+  }
+  return bbox;
+}
+
+std::size_t Cell::flattened_box_count() const {
+  std::size_t n = boxes_.size();
+  for (const Instance& inst : instances_) n += inst.cell->flattened_box_count();
+  return n;
+}
+
+std::size_t Cell::flattened_instance_count() const {
+  std::size_t n = instances_.size();
+  for (const Instance& inst : instances_) n += inst.cell->flattened_instance_count();
+  return n;
+}
+
+}  // namespace rsg

@@ -1,0 +1,37 @@
+#include "layout/cell_table.hpp"
+
+#include "support/error.hpp"
+
+namespace rsg {
+
+Cell& CellTable::create(const std::string& name) {
+  auto [it, inserted] = cells_.try_emplace(name, nullptr);
+  if (!inserted) throw LayoutError("cell '" + name + "' is already defined");
+  it->second = std::make_unique<Cell>(name);
+  order_.push_back(name);
+  return *it->second;
+}
+
+const Cell* CellTable::find(const std::string& name) const {
+  auto it = cells_.find(name);
+  return it == cells_.end() ? nullptr : it->second.get();
+}
+
+Cell* CellTable::find(const std::string& name) {
+  auto it = cells_.find(name);
+  return it == cells_.end() ? nullptr : it->second.get();
+}
+
+const Cell& CellTable::get(const std::string& name) const {
+  const Cell* cell = find(name);
+  if (cell == nullptr) throw LayoutError("unknown cell '" + name + "'");
+  return *cell;
+}
+
+Cell& CellTable::get(const std::string& name) {
+  Cell* cell = find(name);
+  if (cell == nullptr) throw LayoutError("unknown cell '" + name + "'");
+  return *cell;
+}
+
+}  // namespace rsg

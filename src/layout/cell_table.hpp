@@ -1,0 +1,49 @@
+// The cell definition table (§4.1, §4.5).
+//
+// Maps cell names to definitions. The thesis implements this with a hash
+// table because variable lookup falls through to the cell table on every
+// unresolved name (Figure 4.1) and "it is imperative that variable lookup
+// also be extremely fast"; std::unordered_map plays that role here. Cells
+// are heap-owned so Instance::cell pointers stay stable as the table grows.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "layout/cell.hpp"
+
+namespace rsg {
+
+class CellTable {
+ public:
+  CellTable() = default;
+  CellTable(const CellTable&) = delete;
+  CellTable& operator=(const CellTable&) = delete;
+  CellTable(CellTable&&) = default;
+  CellTable& operator=(CellTable&&) = default;
+
+  // Creates an empty cell. Throws LayoutError if the name already exists.
+  Cell& create(const std::string& name);
+
+  // nullptr when absent.
+  const Cell* find(const std::string& name) const;
+  Cell* find(const std::string& name);
+
+  // Throws LayoutError when absent.
+  const Cell& get(const std::string& name) const;
+  Cell& get(const std::string& name);
+
+  bool contains(const std::string& name) const { return cells_.contains(name); }
+  std::size_t size() const { return cells_.size(); }
+
+  // Names in creation order (stable for deterministic output files).
+  const std::vector<std::string>& names_in_order() const { return order_; }
+
+ private:
+  std::unordered_map<std::string, std::unique_ptr<Cell>> cells_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace rsg

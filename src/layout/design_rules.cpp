@@ -1,0 +1,61 @@
+#include "layout/design_rules.hpp"
+
+#include <algorithm>
+
+#include "layout/flatten.hpp"
+
+namespace rsg {
+
+DesignRules DesignRules::mosis_lambda() {
+  DesignRules rules;
+  auto set_width = [&](Layer layer, Coord w) { rules.min_width[static_cast<int>(layer)] = w; };
+  // Half-lambda database units: lambda = 2.
+  set_width(Layer::kMetal1, 4);
+  set_width(Layer::kMetal2, 4);
+  set_width(Layer::kPoly, 4);
+  set_width(Layer::kDiffusion, 4);
+  set_width(Layer::kContactCut, 4);
+  rules.set_min_spacing(Layer::kMetal1, Layer::kMetal1, 6);
+  rules.set_min_spacing(Layer::kMetal2, Layer::kMetal2, 6);
+  rules.set_min_spacing(Layer::kPoly, Layer::kPoly, 4);
+  rules.set_min_spacing(Layer::kDiffusion, Layer::kDiffusion, 6);
+  rules.set_min_spacing(Layer::kPoly, Layer::kDiffusion, 2);
+  rules.set_min_spacing(Layer::kContactCut, Layer::kContactCut, 4);
+  return rules;
+}
+
+std::vector<RuleViolation> check_design_rules(const std::vector<LayerBox>& raw_boxes,
+                                              const DesignRules& rules) {
+  std::vector<RuleViolation> violations;
+  const std::vector<LayerBox> boxes = merge_boxes(raw_boxes);
+
+  for (const LayerBox& lb : boxes) {
+    const Coord w = rules.min_width[static_cast<int>(lb.layer)];
+    if (w > 0 && (lb.box.width() < w || lb.box.height() < w)) {
+      violations.push_back({std::string("min_width(") + layer_name(lb.layer) + ")", lb.box});
+    }
+  }
+
+  // Spacing: O(n^2) over merged boxes with an early bbox reject. Layouts fed
+  // to the checker in tests are small; production flows would use a sweep.
+  for (std::size_t i = 0; i < boxes.size(); ++i) {
+    for (std::size_t k = i + 1; k < boxes.size(); ++k) {
+      const LayerBox& a = boxes[i];
+      const LayerBox& b = boxes[k];
+      const Coord s = rules.spacing(a.layer, b.layer);
+      if (s <= 0) continue;
+      if (a.layer == b.layer && a.box.abuts_or_intersects(b.box)) continue;  // same net
+      if (a.layer != b.layer && a.box.intersects(b.box)) continue;  // deliberate overlap
+      const Coord dx = std::max<Coord>({a.box.lo.x - b.box.hi.x, b.box.lo.x - a.box.hi.x, 0});
+      const Coord dy = std::max<Coord>({a.box.lo.y - b.box.hi.y, b.box.lo.y - a.box.hi.y, 0});
+      if (dx >= s || dy >= s) continue;
+      if (dx == 0 && dy == 0) continue;  // touching counts as connected
+      violations.push_back({std::string("min_spacing(") + layer_name(a.layer) + "," +
+                                layer_name(b.layer) + ")",
+                            a.box.bounding_union(b.box)});
+    }
+  }
+  return violations;
+}
+
+}  // namespace rsg

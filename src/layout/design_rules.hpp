@@ -1,0 +1,49 @@
+// Minimal design-rule checking over flat geometry.
+//
+// The RSG itself never checks design rules — the thesis argues cells can be
+// made DRC-correct individually because interfaces, not abutment, place them
+// (§2.3). This checker exists so tests can demonstrate exactly that claim:
+// generated layouts stay DRC-clean when the sample-layout interfaces are
+// DRC-clean, and the compactor's outputs respect the rule table it was fed.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "geom/box.hpp"
+
+namespace rsg {
+
+struct DesignRules {
+  // Units: database units (half-lambda). Zero disables the rule.
+  std::array<Coord, kNumLayers> min_width{};
+  // Minimum spacing between boxes of layer pair (a, b); symmetric.
+  std::array<std::array<Coord, kNumLayers>, kNumLayers> min_spacing{};
+
+  void set_min_spacing(Layer a, Layer b, Coord value) {
+    min_spacing[static_cast<int>(a)][static_cast<int>(b)] = value;
+    min_spacing[static_cast<int>(b)][static_cast<int>(a)] = value;
+  }
+  Coord spacing(Layer a, Layer b) const {
+    return min_spacing[static_cast<int>(a)][static_cast<int>(b)];
+  }
+
+  // A small nMOS-flavoured rule set in half-lambda units (lambda = 2 du),
+  // used throughout tests and examples: width 2λ metal/poly/diff, spacing
+  // 3λ metal, 2λ poly, 3λ diff, poly-diff 1λ.
+  static DesignRules mosis_lambda();
+};
+
+struct RuleViolation {
+  std::string rule;  // e.g. "min_width(poly)"
+  Box where;
+};
+
+// Checks min-width per box and min-spacing between disjoint boxes. Boxes of
+// the same electrical net are not distinguished (same-layer touching boxes
+// are merged before spacing checks, so abutment is legal).
+std::vector<RuleViolation> check_design_rules(const std::vector<LayerBox>& boxes,
+                                              const DesignRules& rules);
+
+}  // namespace rsg

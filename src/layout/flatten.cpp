@@ -1,0 +1,139 @@
+#include "layout/flatten.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "support/error.hpp"
+
+namespace rsg {
+
+namespace {
+
+void flatten_into(const Cell& cell, const Placement& placement, int depth_left,
+                  FlattenResult& out) {
+  if (depth_left < 0) {
+    throw LayoutError("cell hierarchy too deep while flattening '" + cell.name() +
+                      "' (cycle suspected)");
+  }
+  for (const LayerBox& lb : cell.boxes()) {
+    out.boxes.push_back({lb.layer, placement.apply(lb.box)});
+  }
+  for (const Label& label : cell.labels()) {
+    out.labels.push_back({label, placement.apply(label.at)});
+  }
+  for (const Instance& inst : cell.instances()) {
+    flatten_into(*inst.cell, placement.compose(inst.placement), depth_left - 1, out);
+  }
+}
+
+}  // namespace
+
+FlattenResult flatten(const Cell& cell, int max_depth) {
+  FlattenResult result;
+  flatten_into(cell, kIdentityPlacement, max_depth, result);
+  return result;
+}
+
+std::vector<LayerBox> flatten_boxes(const Cell& cell) {
+  FlattenResult result = flatten(cell);
+  std::erase_if(result.boxes, [](const LayerBox& lb) { return lb.layer == Layer::kLabel; });
+  return std::move(result.boxes);
+}
+
+namespace {
+
+void flatten_instances_into(const Cell& cell, const Placement& placement, int depth_left,
+                            std::vector<FlatInstance>& out) {
+  if (depth_left < 0) {
+    throw LayoutError("cell hierarchy too deep while flattening '" + cell.name() +
+                      "' (cycle suspected)");
+  }
+  for (const Instance& inst : cell.instances()) {
+    const Placement absolute = placement.compose(inst.placement);
+    out.push_back({inst.cell, absolute});
+    flatten_instances_into(*inst.cell, absolute, depth_left - 1, out);
+  }
+}
+
+}  // namespace
+
+std::vector<FlatInstance> flatten_instances(const Cell& root, int max_depth) {
+  std::vector<FlatInstance> result;
+  flatten_instances_into(root, kIdentityPlacement, max_depth, result);
+  return result;
+}
+
+std::vector<LayerBox> merge_boxes(std::vector<LayerBox> boxes) {
+  std::vector<LayerBox> merged;
+  // Process one layer at a time with a slab decomposition: cut the plane at
+  // every box's y boundaries, merge x-intervals within each slab, then
+  // coalesce vertically adjacent slabs whose interval sets match.
+  std::stable_sort(boxes.begin(), boxes.end(), [](const LayerBox& a, const LayerBox& b) {
+    return static_cast<int>(a.layer) < static_cast<int>(b.layer);
+  });
+  for (std::size_t i = 0; i < boxes.size();) {
+    const Layer layer = boxes[i].layer;
+    std::size_t j = i;
+    while (j < boxes.size() && boxes[j].layer == layer) ++j;
+
+    std::vector<Coord> cuts;
+    for (std::size_t k = i; k < j; ++k) {
+      cuts.push_back(boxes[k].box.lo.y);
+      cuts.push_back(boxes[k].box.hi.y);
+    }
+    std::sort(cuts.begin(), cuts.end());
+    cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+
+    using Interval = std::pair<Coord, Coord>;
+    std::vector<std::pair<Interval, Coord>> open;  // interval -> slab start y
+    std::vector<Interval> previous;
+
+    auto slab_intervals = [&](Coord y0, Coord y1) {
+      std::vector<Interval> raw;
+      for (std::size_t k = i; k < j; ++k) {
+        const Box& b = boxes[k].box;
+        if (b.lo.y <= y0 && b.hi.y >= y1 && b.lo.x < b.hi.x) raw.emplace_back(b.lo.x, b.hi.x);
+      }
+      std::sort(raw.begin(), raw.end());
+      std::vector<Interval> out;
+      for (const Interval& iv : raw) {
+        if (!out.empty() && iv.first <= out.back().second) {
+          out.back().second = std::max(out.back().second, iv.second);
+        } else {
+          out.push_back(iv);
+        }
+      }
+      return out;
+    };
+
+    auto flush = [&](const std::vector<Interval>& current, Coord y) {
+      // Close every open strip not continued by `current`.
+      std::vector<std::pair<Interval, Coord>> still_open;
+      for (const auto& [iv, y_start] : open) {
+        if (std::find(current.begin(), current.end(), iv) != current.end()) {
+          still_open.emplace_back(iv, y_start);
+        } else {
+          merged.push_back({layer, Box(iv.first, y_start, iv.second, y)});
+        }
+      }
+      for (const Interval& iv : current) {
+        bool already = false;
+        for (const auto& [open_iv, y_start] : still_open) {
+          if (open_iv == iv) { already = true; break; }
+        }
+        if (!already) still_open.emplace_back(iv, y);
+      }
+      open = std::move(still_open);
+    };
+
+    for (std::size_t c = 0; c + 1 < cuts.size(); ++c) {
+      flush(slab_intervals(cuts[c], cuts[c + 1]), cuts[c]);
+    }
+    if (!cuts.empty()) flush({}, cuts.back());
+
+    i = j;
+  }
+  return merged;
+}
+
+}  // namespace rsg

@@ -1,0 +1,47 @@
+// Hierarchy expansion: a cell's full mask content in root coordinates.
+//
+// Used by the output writers that need flat geometry (SVG, DEF-style dump),
+// by the design-rule checker, and by the flat-compaction baseline of E14.
+// CIF output keeps the hierarchy and does not go through here.
+#pragma once
+
+#include <vector>
+
+#include "layout/cell.hpp"
+
+namespace rsg {
+
+struct FlatLabel {
+  Label label;
+  // Root-coordinate position (label.at transformed).
+  Point at;
+};
+
+struct FlattenResult {
+  std::vector<LayerBox> boxes;
+  std::vector<FlatLabel> labels;
+};
+
+// Expands `cell` recursively. `max_depth` guards against cyclic hierarchies
+// (which CellTable cannot create but hand-built cells could).
+FlattenResult flatten(const Cell& cell, int max_depth = 64);
+
+// Convenience: flat boxes only, skipping kLabel pseudo-boxes.
+std::vector<LayerBox> flatten_boxes(const Cell& cell);
+
+// Merges abutting/overlapping same-layer boxes into maximal horizontal
+// strips (the merging preprocessing of §6.4.1; EXCL does the same). Result
+// boxes are disjoint per layer and have maximal x-extent, so no vertical box
+// edge is hidden or partially hidden.
+std::vector<LayerBox> merge_boxes(std::vector<LayerBox> boxes);
+
+// Every instance at every level of the hierarchy with its absolute
+// placement — the oracle integration tests use to check generated mask
+// placements against the architectural predicates of src/arch.
+struct FlatInstance {
+  const Cell* cell = nullptr;
+  Placement placement;
+};
+std::vector<FlatInstance> flatten_instances(const Cell& root, int max_depth = 64);
+
+}  // namespace rsg

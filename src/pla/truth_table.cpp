@@ -1,0 +1,128 @@
+#include "pla/truth_table.hpp"
+
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace rsg::pla {
+
+void TruthTable::add_term(Term term) {
+  if (static_cast<int>(term.inputs.size()) != inputs_ ||
+      static_cast<int>(term.outputs.size()) != outputs_) {
+    throw Error("truth table term width mismatch");
+  }
+  terms_.push_back(std::move(term));
+}
+
+TruthTable TruthTable::parse(const std::string& text) {
+  std::istringstream lines(text);
+  std::string line;
+  std::vector<std::pair<std::string, std::string>> rows;
+  int line_number = 0;
+  while (std::getline(lines, line)) {
+    ++line_number;
+    const std::size_t comment = line.find_first_of(";#");
+    if (comment != std::string::npos) line.resize(comment);
+    std::istringstream words(line);
+    std::string in;
+    std::string out;
+    if (!(words >> in)) continue;
+    if (!(words >> out)) {
+      throw Error("truth table line " + std::to_string(line_number) +
+                  ": expected '<input cube> <output bits>'");
+    }
+    rows.emplace_back(in, out);
+  }
+  if (rows.empty()) throw Error("truth table has no terms");
+
+  TruthTable table(static_cast<int>(rows.front().first.size()),
+                   static_cast<int>(rows.front().second.size()));
+  for (const auto& [in, out] : rows) {
+    Term term;
+    for (const char c : in) {
+      switch (c) {
+        case '0': term.inputs.push_back(InBit::kZero); break;
+        case '1': term.inputs.push_back(InBit::kOne); break;
+        case '-': term.inputs.push_back(InBit::kDontCare); break;
+        default: throw Error(std::string("truth table: bad input character '") + c + "'");
+      }
+    }
+    for (const char c : out) {
+      if (c != '0' && c != '1') {
+        throw Error(std::string("truth table: bad output character '") + c + "'");
+      }
+      term.outputs.push_back(c == '1');
+    }
+    table.add_term(std::move(term));
+  }
+  return table;
+}
+
+std::vector<bool> TruthTable::evaluate(const std::vector<bool>& input_bits) const {
+  if (static_cast<int>(input_bits.size()) != inputs_) {
+    throw Error("truth table evaluate: input width mismatch");
+  }
+  std::vector<bool> outputs(static_cast<std::size_t>(outputs_), false);
+  for (const Term& term : terms_) {
+    bool fired = true;
+    for (int i = 0; i < inputs_ && fired; ++i) {
+      const InBit want = term.inputs[static_cast<std::size_t>(i)];
+      if (want == InBit::kDontCare) continue;
+      fired = (input_bits[static_cast<std::size_t>(i)] == (want == InBit::kOne));
+    }
+    if (!fired) continue;
+    for (int o = 0; o < outputs_; ++o) {
+      if (term.outputs[static_cast<std::size_t>(o)]) outputs[static_cast<std::size_t>(o)] = true;
+    }
+  }
+  return outputs;
+}
+
+TruthTable TruthTable::decoder(int num_inputs) {
+  if (num_inputs < 1 || num_inputs > 8) throw Error("decoder: 1..8 inputs supported");
+  const int lines = 1 << num_inputs;
+  TruthTable table(num_inputs, lines);
+  for (int code = 0; code < lines; ++code) {
+    Term term;
+    for (int i = 0; i < num_inputs; ++i) {
+      term.inputs.push_back(((code >> i) & 1) != 0 ? InBit::kOne : InBit::kZero);
+    }
+    term.outputs.assign(static_cast<std::size_t>(lines), false);
+    term.outputs[static_cast<std::size_t>(code)] = true;
+    table.add_term(std::move(term));
+  }
+  return table;
+}
+
+TruthTable TruthTable::random(int num_inputs, int num_outputs, int num_terms,
+                              std::uint64_t seed) {
+  TruthTable table(num_inputs, num_outputs);
+  std::uint64_t state = seed * 0x9E3779B97F4A7C15ull + 1;
+  auto next = [&state]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  for (int t = 0; t < num_terms; ++t) {
+    Term term;
+    for (int i = 0; i < num_inputs; ++i) {
+      switch (next() % 3) {
+        case 0: term.inputs.push_back(InBit::kZero); break;
+        case 1: term.inputs.push_back(InBit::kOne); break;
+        default: term.inputs.push_back(InBit::kDontCare); break;
+      }
+    }
+    bool any = false;
+    for (int o = 0; o < num_outputs; ++o) {
+      const bool bit = (next() % 2) == 0;
+      term.outputs.push_back(bit);
+      any = any || bit;
+    }
+    if (!any) term.outputs[0] = true;  // every term drives something
+    table.add_term(std::move(term));
+  }
+  return table;
+}
+
+}  // namespace rsg::pla

@@ -1,0 +1,59 @@
+// PLA truth tables — the "encoding tables" of §4 ("Primitives for
+// manipulating encoding tables (such as PLA truth tables) have also been
+// added" to the design-file language).
+//
+// A table has n inputs, o outputs and p product terms. Each term's input
+// part is a cube over {0, 1, -} and its output part a bit vector: the
+// classic espresso-like PLA personality.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rsg::pla {
+
+enum class InBit : std::uint8_t { kZero = 0, kOne = 1, kDontCare = 2 };
+
+struct Term {
+  std::vector<InBit> inputs;
+  std::vector<bool> outputs;
+
+  friend bool operator==(const Term&, const Term&) = default;
+};
+
+class TruthTable {
+ public:
+  TruthTable(int num_inputs, int num_outputs) : inputs_(num_inputs), outputs_(num_outputs) {}
+
+  // Parses lines of the form "01-1 10" (input cube, whitespace, output
+  // bits); ';'/'#' comments and blank lines ignored. Width is inferred from
+  // the first term.
+  static TruthTable parse(const std::string& text);
+
+  int num_inputs() const { return inputs_; }
+  int num_outputs() const { return outputs_; }
+  int num_terms() const { return static_cast<int>(terms_.size()); }
+  const std::vector<Term>& terms() const { return terms_; }
+
+  void add_term(Term term);
+
+  // Evaluates the two-level AND/OR logic for an input assignment.
+  std::vector<bool> evaluate(const std::vector<bool>& input_bits) const;
+
+  // A decoder personality: p = 2^n minterms, o = 2^n one-hot outputs — used
+  // to show PLA sample cells build decoders too (§1.2.2).
+  static TruthTable decoder(int num_inputs);
+
+  // Deterministic pseudo-random personality for benchmarks.
+  static TruthTable random(int num_inputs, int num_outputs, int num_terms, std::uint64_t seed);
+
+  bool operator==(const TruthTable&) const = default;
+
+ private:
+  int inputs_;
+  int outputs_;
+  std::vector<Term> terms_;
+};
+
+}  // namespace rsg::pla

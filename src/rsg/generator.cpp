@@ -1,0 +1,79 @@
+#include "rsg/generator.hpp"
+
+#include <sstream>
+
+#include "io/cif_writer.hpp"
+#include "lang/parser.hpp"
+#include "support/error.hpp"
+
+namespace rsg {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+}  // namespace
+
+Generator::Generator() = default;
+
+GeneratorResult Generator::run(const std::string& sample_text, const std::string& design_text,
+                               const std::string& param_text, const std::string& top_cell) {
+  GeneratorResult result;
+
+  // Phase 1: read the sample layout and build the initial interface table.
+  const auto t0 = Clock::now();
+  result.sample_stats = load_sample_layout(sample_text, cells_, interfaces_);
+  const auto t1 = Clock::now();
+  result.times.read_sample = t1 - t0;
+
+  // Phase 2: parse and execute the parameter + design files. The parameter
+  // file populates the global environment first; the design file then runs
+  // immersed in it (§4.1).
+  const ParameterFile params = ParameterFile::parse(param_text);
+  lang::Interpreter interp(cells_, interfaces_, graph_);
+  if (encoding_ != nullptr) interp.set_encoding_table(encoding_);
+  params.apply(interp);
+  const lang::Program program = lang::parse_program(design_text);
+  interp.run(program);
+  const auto t2 = Clock::now();
+  result.times.execute_design = t2 - t1;
+  result.interp_stats = interp.stats();
+
+  // Pick the top cell: explicit argument, then the .top_cell directive, then
+  // the most recently created cell.
+  std::string top_name = top_cell;
+  if (top_name.empty()) {
+    if (const std::string* directive = params.directive("top_cell")) top_name = *directive;
+  }
+  if (top_name.empty()) {
+    if (cells_.names_in_order().empty()) {
+      throw LayoutError("design file produced no cells — nothing to output");
+    }
+    top_name = cells_.names_in_order().back();
+  }
+  result.top = &cells_.get(top_name);
+
+  // Phase 3: write the output (CIF, in memory; callers persist as needed).
+  result.output = cif_to_string(*result.top);
+  const auto t3 = Clock::now();
+  result.times.write_output = t3 - t2;
+
+  result.interface_lookups = interfaces_.lookups();
+  return result;
+}
+
+GeneratorResult Generator::run_files(const std::string& sample_path,
+                                     const std::string& design_path,
+                                     const std::string& param_path,
+                                     const std::string& output_path) {
+  GeneratorResult result = run(read_text_file(sample_path), read_text_file(design_path),
+                               read_text_file(param_path));
+  if (!output_path.empty()) write_cif_file(output_path, *result.top);
+  return result;
+}
+
+std::string designs_path(const std::string& filename) {
+  return std::string(RSG_DESIGNS_DIR) + "/" + filename;
+}
+
+}  // namespace rsg

@@ -1,0 +1,80 @@
+// The top-level RSG driver (Figure 1.1 / Figure 3.1).
+//
+// Orchestrates the three inputs — sample layout (graphical), design file
+// (procedural), parameter file (per-case personalization) — through the
+// pipeline: initialize interface table from the sample; run the design file
+// under the parameter-file global environment, which builds connectivity
+// graphs and expands them into cells; then write the finished layout.
+//
+// Per-phase wall-clock times are recorded because §4.5 reports the original
+// split "roughly three equal parts: reading in the source file ..., parsing
+// and executing ..., and writing the output file" — bench_t45_generation
+// reproduces that measurement.
+#pragma once
+
+#include <chrono>
+#include <string>
+
+#include "graph/connectivity_graph.hpp"
+#include "iface/interface_table.hpp"
+#include "io/param_file.hpp"
+#include "io/sample_layout.hpp"
+#include "lang/interp.hpp"
+#include "layout/cell_table.hpp"
+
+namespace rsg {
+
+struct PhaseTimes {
+  std::chrono::duration<double> read_sample{};
+  std::chrono::duration<double> execute_design{};
+  std::chrono::duration<double> write_output{};
+  std::chrono::duration<double> total() const {
+    return read_sample + execute_design + write_output;
+  }
+};
+
+struct GeneratorResult {
+  // The generated layout. BORROWED from the Generator's cell table: the
+  // Generator must outlive any use of this pointer.
+  const Cell* top = nullptr;
+  std::string output;                  // CIF text (also written to file if requested)
+  PhaseTimes times;
+  SampleLayoutStats sample_stats;
+  lang::Interpreter::Stats interp_stats;
+  std::size_t interface_lookups = 0;
+};
+
+class Generator {
+ public:
+  Generator();
+
+  // All three inputs as in-memory text. `top_cell` overrides the default top
+  // choice (the last cell the design file created); the ".top_cell"
+  // parameter-file directive does the same.
+  GeneratorResult run(const std::string& sample_text, const std::string& design_text,
+                      const std::string& param_text, const std::string& top_cell = {});
+
+  // File-based variant honouring the parameter file's .example_file /
+  // .output_file directives relative to `base_dir`.
+  GeneratorResult run_files(const std::string& sample_path, const std::string& design_path,
+                            const std::string& param_path, const std::string& output_path = {});
+
+  CellTable& cells() { return cells_; }
+  InterfaceTable& interfaces() { return interfaces_; }
+  ConnectivityGraph& graph() { return graph_; }
+
+  // Attaches a PLA-style encoding table, exposed to the design file through
+  // the tt_* builtins (§4). The table must outlive run().
+  void set_encoding_table(const lang::Interpreter::EncodingTable* table) { encoding_ = table; }
+
+ private:
+  CellTable cells_;
+  InterfaceTable interfaces_;
+  ConnectivityGraph graph_;
+  const lang::Interpreter::EncodingTable* encoding_ = nullptr;
+};
+
+// Resolves a data file shipped in the repository's designs/ directory.
+std::string designs_path(const std::string& filename);
+
+}  // namespace rsg

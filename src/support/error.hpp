@@ -1,0 +1,44 @@
+// Error type shared by every RSG subsystem.
+//
+// All failures inside the library throw rsg::Error (or a subclass); the
+// what() string is already formatted for the user. Language errors carry a
+// source location so design-file authors get file:line diagnostics, matching
+// the "reasonable error handling" the original interpreter provided (§4.5).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace rsg {
+
+class Error : public std::runtime_error {
+ public:
+  explicit Error(std::string message) : std::runtime_error(std::move(message)) {}
+};
+
+// Raised by the design-file front end (lexer/parser/interpreter).
+class LangError : public Error {
+ public:
+  LangError(std::string message, int line, int column)
+      : Error(formatted(message, line, column)), line_(line), column_(column) {}
+
+  int line() const { return line_; }
+  int column() const { return column_; }
+
+ private:
+  static std::string formatted(const std::string& message, int line, int column) {
+    return "design file:" + std::to_string(line) + ":" + std::to_string(column) + ": " + message;
+  }
+
+  int line_ = 0;
+  int column_ = 0;
+};
+
+// Raised when a layout operation is geometrically or topologically invalid
+// (unknown cell, missing interface, inconsistent connectivity cycle, ...).
+class LayoutError : public Error {
+ public:
+  using Error::Error;
+};
+
+}  // namespace rsg

@@ -1,0 +1,211 @@
+// Tests for the Baugh–Wooley architecture model (Ch. 5, Figure 5.1/5.2):
+// cell-kind predicates, combinational correctness (exhaustive for small
+// widths), retiming legality, and pipelined-simulator correctness across β.
+#include "arch/baugh_wooley.hpp"
+
+#include <gtest/gtest.h>
+
+#include "arch/retiming.hpp"
+#include "arch/simulator.hpp"
+#include "support/error.hpp"
+
+namespace rsg::arch {
+namespace {
+
+TEST(BaughWooley, CellKindPredicateMatchesFigure51) {
+  // 4x4: type II on left edge and bottom edge, type I in the lower-left
+  // corner and everywhere else.
+  const MultiplierSpec spec{4, 4};
+  for (int x = 0; x < 4; ++x) {
+    for (int y = 0; y < 4; ++y) {
+      const CellKind kind = carry_save_cell_kind(spec, x, y);
+      const bool left = (x == 0);
+      const bool bottom = (y == 3);
+      const CellKind expected = (left && bottom) ? CellKind::kTypeI
+                                : (left || bottom) ? CellKind::kTypeII
+                                                   : CellKind::kTypeI;
+      EXPECT_EQ(kind, expected) << "(" << x << "," << y << ")";
+    }
+  }
+  EXPECT_THROW(carry_save_cell_kind(spec, 4, 0), Error);
+  EXPECT_THROW(carry_save_cell_kind(spec, 0, -1), Error);
+}
+
+TEST(BaughWooley, ClockAlternatesByColumn) {
+  EXPECT_EQ(clock_phase_for_column(0), ClockPhase::kPhi1);
+  EXPECT_EQ(clock_phase_for_column(1), ClockPhase::kPhi2);
+  EXPECT_EQ(clock_phase_for_column(2), ClockPhase::kPhi1);
+}
+
+TEST(BaughWooley, BitConversionRoundTrip) {
+  for (int v = -8; v < 8; ++v) {
+    EXPECT_EQ(from_bits(to_bits(v, 4)), v) << v;
+  }
+  EXPECT_EQ(from_bits(to_bits(-1, 6)), -1);
+  EXPECT_THROW(from_bits({}), Error);
+}
+
+TEST(BaughWooley, Exhaustive4x4) {
+  const MultiplierSpec spec{4, 4};
+  for (int a = -8; a < 8; ++a) {
+    for (int b = -8; b < 8; ++b) {
+      const auto bits = evaluate_combinational(spec, to_bits(a, 4), to_bits(b, 4));
+      EXPECT_EQ(from_bits(bits), static_cast<std::int64_t>(a) * b) << a << "*" << b;
+    }
+  }
+}
+
+TEST(BaughWooley, Exhaustive3x5Rectangular) {
+  const MultiplierSpec spec{3, 5};
+  for (int a = -4; a < 4; ++a) {
+    for (int b = -16; b < 16; ++b) {
+      const auto bits = evaluate_combinational(spec, to_bits(a, 3), to_bits(b, 5));
+      EXPECT_EQ(from_bits(bits), static_cast<std::int64_t>(a) * b) << a << "*" << b;
+    }
+  }
+}
+
+TEST(BaughWooley, Exhaustive5x3Rectangular) {
+  const MultiplierSpec spec{5, 3};
+  for (int a = -16; a < 16; ++a) {
+    for (int b = -4; b < 4; ++b) {
+      const auto bits = evaluate_combinational(spec, to_bits(a, 5), to_bits(b, 3));
+      EXPECT_EQ(from_bits(bits), static_cast<std::int64_t>(a) * b) << a << "*" << b;
+    }
+  }
+}
+
+TEST(BaughWooley, RandomLargeWidths) {
+  std::uint64_t state = 12345;
+  auto next = [&state]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  for (const int m : {8, 12, 16}) {
+    for (const int n : {8, 16}) {
+      const MultiplierSpec spec{m, n};
+      for (int trial = 0; trial < 50; ++trial) {
+        const auto a = static_cast<std::int64_t>(next() % (1ull << m)) - (1ll << (m - 1));
+        const auto b = static_cast<std::int64_t>(next() % (1ull << n)) - (1ll << (n - 1));
+        const auto bits = evaluate_combinational(spec, to_bits(a, m), to_bits(b, n));
+        EXPECT_EQ(from_bits(bits), a * b) << m << "x" << n << ": " << a << "*" << b;
+      }
+    }
+  }
+}
+
+TEST(BaughWooley, DepthReportsArrayPlusRipple) {
+  const MultiplierSpec spec{6, 6};
+  int depth = 0;
+  evaluate_combinational(spec, to_bits(3, 6), to_bits(5, 6), &depth);
+  EXPECT_EQ(depth, 6 + 12);
+}
+
+TEST(Retiming, CutsRespectBeta) {
+  const MultiplierSpec spec{6, 6};
+  for (const int beta : {1, 2, 3, 4, 8, 100}) {
+    const RegisterConfiguration config = compute_register_configuration(spec, beta);
+    EXPECT_LE(max_stage_depth(config), beta) << "beta " << beta;
+    EXPECT_EQ(config.row_cuts.front(), 0);
+    EXPECT_EQ(config.row_cuts.back(), 6);
+    EXPECT_EQ(config.cpa_cuts.back(), 12);
+    EXPECT_EQ(config.stages(), config.carry_save_stages + config.carry_propagate_stages);
+  }
+  EXPECT_THROW(compute_register_configuration(spec, 0), Error);
+  EXPECT_THROW(compute_register_configuration(MultiplierSpec{1, 4}, 1), Error);
+}
+
+TEST(Retiming, BitSystolicHasOneRowPerStage) {
+  // β = 1 is the bit-systolic multiplier of Figure 5.2(a): one FA delay
+  // between any two registers.
+  const RegisterConfiguration config = compute_register_configuration({6, 6}, 1);
+  EXPECT_EQ(config.carry_save_stages, 6);
+  EXPECT_EQ(config.carry_propagate_stages, 12);
+  EXPECT_EQ(max_stage_depth(config), 1);
+}
+
+TEST(Retiming, RegisterCountDecreasesWithBeta) {
+  // Figure 5.2's tradeoff: less pipelining, fewer registers.
+  const MultiplierSpec spec{8, 8};
+  int previous = compute_register_configuration(spec, 1).total_register_bits;
+  for (const int beta : {2, 4, 8}) {
+    const int bits = compute_register_configuration(spec, beta).total_register_bits;
+    EXPECT_LT(bits, previous) << "beta " << beta;
+    previous = bits;
+  }
+}
+
+TEST(Retiming, InputSkewIsTriangular) {
+  // Bit-systolic: multiplier bit i needs i delay registers — the triangular
+  // register stacks mtopregs builds (Appendix B).
+  const RegisterConfiguration config = compute_register_configuration({4, 4}, 1);
+  EXPECT_EQ(config.input_skew_b, (std::vector<int>{0, 1, 2, 3}));
+  const RegisterConfiguration half = compute_register_configuration({4, 4}, 2);
+  EXPECT_EQ(half.input_skew_b, (std::vector<int>{0, 0, 1, 1}));
+}
+
+class PipelineTest : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(PipelineTest, StreamsCorrectProductsAtFullThroughput) {
+  const auto [m, n, beta] = GetParam();
+  const MultiplierSpec spec{m, n};
+  PipelinedMultiplier mult(spec, beta);
+
+  std::uint64_t state = 99 + static_cast<std::uint64_t>(m * 1000 + n * 10 + beta);
+  auto next = [&state]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+
+  // Issue one pair per cycle; products must appear in order with the
+  // configured latency.
+  std::vector<std::int64_t> expected;
+  std::vector<std::int64_t> got;
+  const int jobs = 40;
+  int issued = 0;
+  for (int cycle = 0; issued < jobs; ++cycle) {
+    const auto a = static_cast<std::int64_t>(next() % (1ull << m)) - (1ll << (m - 1));
+    const auto b = static_cast<std::int64_t>(next() % (1ull << n)) - (1ll << (n - 1));
+    expected.push_back(a * b);
+    ++issued;
+    const auto out = mult.step(a, b);
+    if (out.valid) got.push_back(out.product);
+    // The first product appears exactly after `latency()` issues.
+    if (cycle < mult.latency() - 1) {
+      EXPECT_FALSE(out.valid) << "cycle " << cycle;
+    }
+  }
+  for (const std::int64_t p : mult.drain()) got.push_back(p);
+  ASSERT_EQ(got.size(), expected.size());
+  EXPECT_EQ(got, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SpecSweep, PipelineTest,
+    ::testing::Values(std::tuple(4, 4, 1), std::tuple(4, 4, 2), std::tuple(6, 6, 1),
+                      std::tuple(6, 6, 2), std::tuple(6, 6, 4), std::tuple(8, 8, 1),
+                      std::tuple(8, 8, 3), std::tuple(8, 6, 2), std::tuple(6, 8, 2),
+                      std::tuple(16, 16, 4)));
+
+TEST(Pipeline, LatencyEqualsStages) {
+  PipelinedMultiplier mult({6, 6}, 2);
+  EXPECT_EQ(mult.latency(), mult.config().stages());
+  // 6 rows / 2 + 12 positions / 2 = 3 + 6 stages.
+  EXPECT_EQ(mult.latency(), 9);
+}
+
+TEST(Pipeline, ResetClearsState) {
+  PipelinedMultiplier mult({4, 4}, 1);
+  mult.step(3, 3);
+  mult.reset();
+  EXPECT_EQ(mult.cycles(), 0);
+  const auto out = mult.step(2, 2);
+  EXPECT_FALSE(out.valid);
+}
+
+}  // namespace
+}  // namespace rsg::arch

@@ -1,0 +1,98 @@
+// Tests for boxes and placements: the affine isometry semantics of §2.1.
+#include <gtest/gtest.h>
+
+#include "geom/box.hpp"
+#include "geom/transform.hpp"
+#include "support/error.hpp"
+
+namespace rsg {
+namespace {
+
+TEST(Box, NormalizesCorners) {
+  const Box b(Point{10, 20}, Point{2, 4});
+  EXPECT_EQ(b.lo, (Point{2, 4}));
+  EXPECT_EQ(b.hi, (Point{10, 20}));
+  EXPECT_EQ(b.width(), 8);
+  EXPECT_EQ(b.height(), 16);
+  EXPECT_EQ(b.area(), 128);
+}
+
+TEST(Box, ContainsIsInclusive) {
+  const Box b(0, 0, 10, 10);
+  EXPECT_TRUE(b.contains({0, 0}));
+  EXPECT_TRUE(b.contains({10, 10}));
+  EXPECT_TRUE(b.contains({5, 5}));
+  EXPECT_FALSE(b.contains({11, 5}));
+  EXPECT_FALSE(b.contains({5, -1}));
+}
+
+TEST(Box, IntersectsIsExclusiveOfSharedEdges) {
+  const Box a(0, 0, 10, 10);
+  EXPECT_TRUE(a.intersects(Box(5, 5, 15, 15)));
+  EXPECT_FALSE(a.intersects(Box(10, 0, 20, 10)));  // shared edge only
+  EXPECT_TRUE(a.abuts_or_intersects(Box(10, 0, 20, 10)));
+  EXPECT_FALSE(a.abuts_or_intersects(Box(11, 0, 20, 10)));
+}
+
+TEST(Box, IntersectionAndUnion) {
+  const Box a(0, 0, 10, 10);
+  const Box b(4, 6, 20, 20);
+  EXPECT_EQ(a.intersection(b), Box(4, 6, 10, 10));
+  EXPECT_EQ(a.bounding_union(b), Box(0, 0, 20, 20));
+  EXPECT_TRUE(a.intersection(Box(11, 11, 12, 12)).empty());
+}
+
+TEST(Layer, NamesRoundTrip) {
+  for (int i = 0; i < kNumLayers; ++i) {
+    const Layer layer = static_cast<Layer>(i);
+    EXPECT_EQ(parse_layer(layer_name(layer)), layer);
+  }
+  EXPECT_THROW(parse_layer("unobtainium"), Error);
+}
+
+TEST(Placement, AppliesOrientationThenTranslation) {
+  // Instance at L=(100,50), O=West: p -> L + O(p).
+  const Placement p{{100, 50}, Orientation::kWest};
+  EXPECT_EQ(p.apply(Point{0, 0}), (Point{100, 50}));  // origin lands on L
+  EXPECT_EQ(p.apply(Point{3, 7}), (Point{100 - 7, 50 + 3}));
+}
+
+TEST(Placement, BoxApplicationRenormalizes) {
+  const Placement p{{0, 0}, Orientation::kSouth};
+  EXPECT_EQ(p.apply(Box(1, 2, 5, 9)), Box(-5, -9, -1, -2));
+}
+
+class PlacementPropertyTest : public ::testing::TestWithParam<std::tuple<int, int>> {
+ protected:
+  Placement pa() const {
+    return {{17, -4}, Orientation::from_index(std::get<0>(GetParam()))};
+  }
+  Placement pb() const {
+    return {{-9, 33}, Orientation::from_index(std::get<1>(GetParam()))};
+  }
+};
+
+TEST_P(PlacementPropertyTest, ComposeMatchesSequentialApplication) {
+  const Point samples[] = {{0, 0}, {1, 0}, {0, 1}, {12, -7}};
+  for (const Point p : samples) {
+    EXPECT_EQ(pa().compose(pb()).apply(p), pa().apply(pb().apply(p)));
+  }
+}
+
+TEST_P(PlacementPropertyTest, InverseUndoesApplication) {
+  const Point samples[] = {{0, 0}, {5, 9}, {-3, 14}};
+  for (const Point p : samples) {
+    EXPECT_EQ(pa().inverse().apply(pa().apply(p)), p);
+    EXPECT_EQ(pa().apply(pa().inverse().apply(p)), p);
+  }
+}
+
+TEST_P(PlacementPropertyTest, InverseOfComposeIsReversedCompose) {
+  EXPECT_EQ(pa().compose(pb()).inverse(), pb().inverse().compose(pa().inverse()));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOrientationPairs, PlacementPropertyTest,
+                         ::testing::Combine(::testing::Range(0, 8), ::testing::Range(0, 8)));
+
+}  // namespace
+}  // namespace rsg

@@ -1,0 +1,127 @@
+// Reproduction of E4 (Figures 3.5–3.7): interfaces between two instances of
+// the SAME celltype are ambiguous in an undirected graph — I°_aa and its
+// inverse both satisfy the edge, and they generally produce non-equivalent
+// layouts. Directed edges resolve the ambiguity: the tail of the edge is the
+// reference instance.
+#include <gtest/gtest.h>
+
+#include "graph/connectivity_graph.hpp"
+#include "graph/expand.hpp"
+#include "io/def_writer.hpp"
+#include "support/error.hpp"
+
+namespace rsg {
+namespace {
+
+class AmbiguityTest : public ::testing::Test {
+ protected:
+  AmbiguityTest() {
+    // An L-shaped cell: asymmetric so that mirrored/rotated placements are
+    // geometrically distinguishable.
+    Cell& a = cells_.create("a");
+    a.add_box(Layer::kMetal1, Box(0, 0, 10, 4));
+    a.add_box(Layer::kMetal1, Box(0, 0, 4, 10));
+    // The same-celltype interface of Figure 3.5: the right instance is
+    // displaced and quarter-turned.
+    interfaces_.declare("a", "a", 1, Interface{{14, 2}, Orientation::kWest});
+  }
+
+  CellTable cells_;
+  InterfaceTable interfaces_;
+};
+
+TEST_F(AmbiguityTest, TheTwoInterpretationsDiffer) {
+  // Figure 3.6: starting from a placed left node, I°_aa and (I°_aa)^-1 give
+  // different placements for the right node — the two "non equivalent
+  // layouts" of the figure.
+  const Interface i = interfaces_.get("a", "a", 1);
+  const Placement left = kIdentityPlacement;
+  const Placement forward = i.place_other(left);
+  const Placement backward = i.inverse().place_other(left);
+  EXPECT_NE(forward, backward);
+}
+
+TEST_F(AmbiguityTest, DirectedEdgeSelectsTheForwardInterpretation) {
+  ConnectivityGraph graph;
+  GraphNode* n1 = graph.make_instance(&cells_.get("a"));
+  GraphNode* n2 = graph.make_instance(&cells_.get("a"));
+  graph.connect(n1, n2, 1);  // n1 -> n2: n1 is the reference instance
+  expand_to_cell(graph, n1, "pair_fwd", interfaces_, cells_);
+
+  EXPECT_EQ(*n1->placement, kIdentityPlacement);
+  EXPECT_EQ(*n2->placement, interfaces_.get("a", "a", 1).place_other(kIdentityPlacement));
+}
+
+TEST_F(AmbiguityTest, ReversedEdgeSelectsTheInverseInterpretation) {
+  ConnectivityGraph graph;
+  GraphNode* n1 = graph.make_instance(&cells_.get("a"));
+  GraphNode* n2 = graph.make_instance(&cells_.get("a"));
+  graph.connect(n2, n1, 1);  // n2 -> n1: now n2 is the reference instance
+  expand_to_cell(graph, n1, "pair_rev", interfaces_, cells_);
+
+  // Rebase to n1 at identity (the expander roots at n1 anyway): n2 must sit
+  // where the INVERSE interface puts it.
+  EXPECT_EQ(*n1->placement, kIdentityPlacement);
+  EXPECT_EQ(*n2->placement,
+            interfaces_.get("a", "a", 1).inverse().place_other(kIdentityPlacement));
+}
+
+TEST_F(AmbiguityTest, ForwardAndReversedEdgesGiveNonEquivalentLayouts) {
+  // The geometric content of Figure 3.6: the two directed interpretations
+  // disagree as layouts, not merely as placements.
+  CellTable cells_fwd;
+  Cell& af = cells_fwd.create("a");
+  af.add_box(Layer::kMetal1, Box(0, 0, 10, 4));
+  af.add_box(Layer::kMetal1, Box(0, 0, 4, 10));
+  ConnectivityGraph gf;
+  GraphNode* f1 = gf.make_instance(&af);
+  GraphNode* f2 = gf.make_instance(&af);
+  gf.connect(f1, f2, 1);
+  const Cell& fwd = expand_to_cell(gf, f1, "p", interfaces_, cells_fwd);
+
+  CellTable cells_rev;
+  Cell& ar = cells_rev.create("a");
+  ar.add_box(Layer::kMetal1, Box(0, 0, 10, 4));
+  ar.add_box(Layer::kMetal1, Box(0, 0, 4, 10));
+  ConnectivityGraph gr;
+  GraphNode* r1 = gr.make_instance(&ar);
+  GraphNode* r2 = gr.make_instance(&ar);
+  gr.connect(r2, r1, 1);
+  const Cell& rev = expand_to_cell(gr, r1, "p", interfaces_, cells_rev);
+
+  EXPECT_NE(def_to_string(fwd), def_to_string(rev));
+}
+
+TEST_F(AmbiguityTest, ChainOfSameCellEdgesIsDeterministic) {
+  // A longer chain: expanding from either end must give the same relative
+  // geometry, because edge direction — not traversal order — selects the
+  // interface interpretation. This is precisely what failed in "the first
+  // versions of the RSG" (§3.4).
+  auto build = [&](bool root_at_head) {
+    ConnectivityGraph graph;
+    CellTable cells;
+    Cell& a = cells.create("a");
+    a.add_box(Layer::kMetal1, Box(0, 0, 10, 4));
+    a.add_box(Layer::kMetal1, Box(0, 0, 4, 10));
+    std::vector<GraphNode*> nodes;
+    for (int i = 0; i < 5; ++i) nodes.push_back(graph.make_instance(&a));
+    for (int i = 0; i + 1 < 5; ++i) graph.connect(nodes[i], nodes[i + 1], 1);
+    expand_to_cell(graph, root_at_head ? nodes.front() : nodes.back(), "chain", interfaces_,
+                   cells);
+    // Relative placement of the two chain ends, which is isometry-invariant.
+    return Interface::from_placements(*nodes.front()->placement, *nodes.back()->placement);
+  };
+  EXPECT_EQ(build(true), build(false));
+}
+
+TEST_F(AmbiguityTest, SymmetricInterfaceIsDirectionInsensitive) {
+  // If I°_aa happens to equal its own inverse (e.g. a pure half-turn), both
+  // directions agree and no ambiguity exists.
+  InterfaceTable table;
+  table.declare("a", "a", 1, Interface{{0, 0}, Orientation::kSouth});
+  const Interface i = table.get("a", "a", 1);
+  EXPECT_EQ(i, i.inverse());
+}
+
+}  // namespace
+}  // namespace rsg

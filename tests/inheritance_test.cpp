@@ -1,0 +1,88 @@
+// Tests for interface inheritance (§2.5): the constructive implementation
+// must satisfy the closed-form equations 2.11/2.12 and the defining
+// geometric property of Figure 2.4.
+#include "iface/inheritance.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rsg {
+namespace {
+
+// Direct transcription of eq 2.11 / 2.12:
+//   O_cd = O_a^c ∘ O_ab ∘ (O_b^d)^-1
+//   V_cd = O_a^c V_ab - O_cd L_b^d + L_a^c
+Interface inheritance_closed_form(const Placement& a_in_c, const Placement& b_in_d,
+                                  const Interface& i_ab) {
+  const Orientation o_cd =
+      a_in_c.orientation.compose(i_ab.orientation).compose(b_in_d.orientation.inverse());
+  const Vec v_cd = a_in_c.orientation.apply(i_ab.vector) - o_cd.apply(b_in_d.location) +
+                   a_in_c.location;
+  return Interface{v_cd, o_cd};
+}
+
+TEST(Inheritance, SimpleTranslationOnlyCase) {
+  // A at (2,3) in C, B at (5,1) in D, subcell interface pure translation.
+  const Placement a_in_c{{2, 3}, Orientation::kNorth};
+  const Placement b_in_d{{5, 1}, Orientation::kNorth};
+  const Interface i_ab{{10, 0}, Orientation::kNorth};
+  const Interface i_cd = inherit_interface(a_in_c, b_in_d, i_ab);
+  // B lands at (2,3)+(10,0) = (12,3); D's origin must sit at (12,3)-(5,1).
+  EXPECT_EQ(i_cd.vector, (Vec{7, 2}));
+  EXPECT_EQ(i_cd.orientation, Orientation::kNorth);
+}
+
+TEST(Inheritance, DefiningProperty) {
+  // Placing C and D with the inherited I_cd must place the inner A and B
+  // with exactly the original I_ab — that is Figure 2.4's statement.
+  const Placement a_in_c{{6, -2}, Orientation::kEast};
+  const Placement b_in_d{{-3, 9}, Orientation::kMirrorNorth};
+  const Interface i_ab{{15, 4}, Orientation::kWest};
+
+  const Interface i_cd = inherit_interface(a_in_c, b_in_d, i_ab);
+
+  const Placement c_abs{{100, 200}, Orientation::kMirrorEast};  // arbitrary
+  const Placement d_abs = i_cd.place_other(c_abs);
+  const Placement a_abs = c_abs.compose(a_in_c);
+  const Placement b_abs = d_abs.compose(b_in_d);
+  EXPECT_EQ(Interface::from_placements(a_abs, b_abs), i_ab);
+}
+
+class InheritancePropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {
+ protected:
+  Placement a_in_c() const {
+    return {{7, 3}, Orientation::from_index(std::get<0>(GetParam()))};
+  }
+  Placement b_in_d() const {
+    return {{-4, 11}, Orientation::from_index(std::get<1>(GetParam()))};
+  }
+  Interface i_ab() const {
+    return {{23, -9}, Orientation::from_index(std::get<2>(GetParam()))};
+  }
+};
+
+TEST_P(InheritancePropertyTest, ConstructiveMatchesClosedForm) {
+  EXPECT_EQ(inherit_interface(a_in_c(), b_in_d(), i_ab()),
+            inheritance_closed_form(a_in_c(), b_in_d(), i_ab()));
+}
+
+TEST_P(InheritancePropertyTest, DefiningPropertyHoldsForAllOrientations) {
+  const Interface i_cd = inherit_interface(a_in_c(), b_in_d(), i_ab());
+  const Placement c_abs{{-31, 17}, Orientation::kSouth};
+  const Placement d_abs = i_cd.place_other(c_abs);
+  EXPECT_EQ(Interface::from_placements(c_abs.compose(a_in_c()), d_abs.compose(b_in_d())),
+            i_ab());
+}
+
+INSTANTIATE_TEST_SUITE_P(OrientationSweep, InheritancePropertyTest,
+                         ::testing::Combine(::testing::Range(0, 8), ::testing::Range(0, 8),
+                                            ::testing::Range(0, 8)));
+
+TEST(Inheritance, IdentitySubcellPlacementsGiveBackOriginal) {
+  // When A sits at C's origin and B at D's origin, C/D inherit I_ab itself.
+  const Interface i_ab{{40, 8}, Orientation::kMirrorWest};
+  EXPECT_EQ(inherit_interface(kIdentityPlacement, kIdentityPlacement, i_ab), i_ab);
+}
+
+}  // namespace
+}  // namespace rsg

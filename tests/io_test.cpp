@@ -1,0 +1,213 @@
+// Tests for the I/O layer: sample-layout parsing with by-example interface
+// extraction (including the overlap-region label form of Fig 5.5), and the
+// CIF / DEF / SVG writers.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "io/cif_writer.hpp"
+#include "io/def_writer.hpp"
+#include "io/sample_layout.hpp"
+#include "io/svg_writer.hpp"
+#include "support/error.hpp"
+
+namespace rsg {
+namespace {
+
+constexpr const char* kSample = R"(
+; two cells assembled to define interfaces by example
+cell basic
+  box metal1 0 0 40 8
+  box poly 2 2 6 30
+  point si 0 4
+end
+
+cell mask
+  box implant 0 0 8 8
+end
+
+assembly
+  inst a basic 0 0 N
+  inst b basic 44 0 N
+  inst m mask 10 2 N
+  label 1 at 42 4      ; overlap of a's bbox [0..40+..] and b's? see test
+  label 2 from a to m
+end
+)";
+
+TEST(SampleLayout, ParsesCellsAndGeometry) {
+  CellTable cells;
+  InterfaceTable interfaces;
+  // The positional label at (42,4) must lie inside exactly two instance
+  // bboxes: a spans x in [0,40]... so widen b to overlap. Use explicit text
+  // here instead:
+  const char* text = R"(
+cell basic
+  box metal1 0 0 40 8
+end
+cell mask
+  box implant 0 0 8 8
+end
+assembly
+  inst a basic 0 0 N
+  inst b basic 38 0 N
+  inst m mask 10 2 N
+  label 1 at 39 4
+  label 2 from a to m
+end
+)";
+  const SampleLayoutStats stats = load_sample_layout(text, cells, interfaces);
+  EXPECT_EQ(stats.cells, 2u);
+  EXPECT_EQ(stats.boxes, 2u);
+  EXPECT_EQ(stats.assembly_instances, 3u);
+  EXPECT_EQ(stats.interfaces_declared, 2u);
+
+  // label 1: overlap of a and b; a declared first, so a is the reference.
+  EXPECT_EQ(interfaces.get("basic", "basic", 1), (Interface{{38, 0}, Orientation::kNorth}));
+  // label 2: explicit, from a to m.
+  EXPECT_EQ(interfaces.get("basic", "mask", 2), (Interface{{10, 2}, Orientation::kNorth}));
+}
+
+TEST(SampleLayout, HierarchicalSampleCells) {
+  CellTable cells;
+  InterfaceTable interfaces;
+  const char* text = R"(
+cell leaf
+  box metal1 0 0 4 4
+end
+cell composite
+  box poly 0 0 20 4
+  inst l1 leaf 0 0 N
+  inst l2 leaf 16 0 MN
+end
+)";
+  load_sample_layout(text, cells, interfaces);
+  const Cell& composite = cells.get("composite");
+  ASSERT_EQ(composite.instances().size(), 2u);
+  EXPECT_EQ(composite.instances()[1].placement.orientation, Orientation::kMirrorNorth);
+  EXPECT_EQ(composite.flattened_box_count(), 3u);
+}
+
+TEST(SampleLayout, OrientationInInterfaceExtraction) {
+  CellTable cells;
+  InterfaceTable interfaces;
+  const char* text = R"(
+cell a
+  box metal1 0 0 10 4
+end
+assembly
+  inst left a 0 0 S
+  inst right a 20 6 E
+  label 3 from left to right
+end
+)";
+  load_sample_layout(text, cells, interfaces);
+  const Interface i = interfaces.get("a", "a", 3);
+  // O = S^-1 ∘ E = S ∘ E = W;  V = S(20,6) = (-20,-6).
+  EXPECT_EQ(i.orientation, Orientation::kWest);
+  EXPECT_EQ(i.vector, (Vec{-20, -6}));
+}
+
+TEST(SampleLayout, ErrorPaths) {
+  CellTable cells;
+  InterfaceTable interfaces;
+  EXPECT_THROW(load_sample_layout("garbage here", cells, interfaces), Error);
+
+  CellTable cells2;
+  InterfaceTable interfaces2;
+  EXPECT_THROW(load_sample_layout("cell a\n  box metal1 0 0\nend", cells2, interfaces2), Error);
+
+  CellTable cells3;
+  InterfaceTable interfaces3;
+  // Positional label inside only one instance.
+  const char* bad_label = R"(
+cell a
+  box metal1 0 0 10 4
+end
+assembly
+  inst x a 0 0 N
+  label 1 at 5 2
+end
+)";
+  EXPECT_THROW(load_sample_layout(bad_label, cells3, interfaces3), Error);
+
+  CellTable cells4;
+  InterfaceTable interfaces4;
+  // Unknown instance in explicit label.
+  const char* bad_ref = R"(
+cell a
+  box metal1 0 0 10 4
+end
+assembly
+  inst x a 0 0 N
+  inst y a 20 0 N
+  label 1 from x to z
+end
+)";
+  EXPECT_THROW(load_sample_layout(bad_ref, cells4, interfaces4), Error);
+
+  CellTable cells5;
+  InterfaceTable interfaces5;
+  EXPECT_THROW(load_sample_layout("cell a\n  box metal1 0 0 4 4", cells5, interfaces5), Error);
+}
+
+TEST(SampleLayout, FullSampleParses) {
+  CellTable cells;
+  InterfaceTable interfaces;
+  // The header sample: label 1 at (42,4) overlaps a [0..40] and b [44..]?
+  // It does not — expect a clean diagnostic rather than silence.
+  EXPECT_THROW(load_sample_layout(kSample, cells, interfaces), Error);
+}
+
+class WriterTest : public ::testing::Test {
+ protected:
+  WriterTest() {
+    Cell& leaf = cells_.create("leaf");
+    leaf.add_box(Layer::kMetal1, Box(0, 0, 5, 3));  // odd center: needs x2 scale
+    leaf.add_label("pin", {1, 1});
+    Cell& top = cells_.create("top");
+    top.add_box(Layer::kPoly, Box(0, 0, 2, 2));
+    top.add_instance(&leaf, Placement{{10, 0}, Orientation::kWest});
+    top.add_instance(&leaf, Placement{{20, 0}, Orientation::kMirrorNorth});
+  }
+  CellTable cells_;
+};
+
+TEST_F(WriterTest, CifContainsHierarchyAndTransforms) {
+  const std::string cif = cif_to_string(cells_.get("top"));
+  EXPECT_NE(cif.find("DS 1 1 2;"), std::string::npos);
+  EXPECT_NE(cif.find("9 leaf;"), std::string::npos);
+  EXPECT_NE(cif.find("9 top;"), std::string::npos);
+  // Box: doubled coords — width 10, height 6, center (5,3).
+  EXPECT_NE(cif.find("B 10 6 5 3;"), std::string::npos);
+  // West call: R 0 1; mirrored call: MX.
+  EXPECT_NE(cif.find("R 0 1"), std::string::npos);
+  EXPECT_NE(cif.find("MX"), std::string::npos);
+  // Leaf defined once, called twice.
+  EXPECT_EQ(cif.find("9 leaf;"), cif.rfind("9 leaf;"));
+  // Ends with a top-level call and E.
+  EXPECT_NE(cif.find("C 2 T 0 0;\nE\n"), std::string::npos);
+}
+
+TEST_F(WriterTest, DefIsFlatSortedAndDeterministic) {
+  const std::string def = def_to_string(cells_.get("top"));
+  EXPECT_NE(def.find("DEF top 3"), std::string::npos);
+  EXPECT_EQ(def, def_to_string(cells_.get("top")));
+  // Flattened leaf under West at (10,0): box (0,0,5,3) -> (-3,0)..(0,5)
+  // shifted: (7,0)..(10,5).
+  EXPECT_NE(def.find("RECT metal1 7 0 10 5"), std::string::npos);
+}
+
+TEST_F(WriterTest, SvgMentionsEveryLayerDrawn) {
+  std::ostringstream out;
+  write_svg(out, cells_.get("top"));
+  const std::string svg = out.str();
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("rect"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  // 3 boxes + 2 labels-as-text.
+  EXPECT_NE(svg.find("<text"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rsg

@@ -1,0 +1,223 @@
+// Interpreter tests: arithmetic, control flow, functions vs environment-
+// returning macros (§4.2), indexed variables, and the graph primitives.
+#include "lang/interp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "lang/parser.hpp"
+#include "support/error.hpp"
+
+namespace rsg::lang {
+namespace {
+
+class InterpTest : public ::testing::Test {
+ protected:
+  InterpTest() : interp_(cells_, interfaces_, graph_, &output_) {
+    Cell& a = cells_.create("cella");
+    a.add_box(Layer::kMetal1, Box(0, 0, 10, 10));
+    Cell& b = cells_.create("cellb");
+    b.add_box(Layer::kPoly, Box(0, 0, 8, 8));
+    interfaces_.declare("cella", "cella", 1, Interface{{12, 0}, Orientation::kNorth});
+    interfaces_.declare("cella", "cellb", 2, Interface{{0, 12}, Orientation::kNorth});
+  }
+
+  Value run(const std::string& source) { return interp_.run(parse_program(source)); }
+
+  CellTable cells_;
+  InterfaceTable interfaces_;
+  ConnectivityGraph graph_;
+  std::ostringstream output_;
+  Interpreter interp_;
+};
+
+TEST_F(InterpTest, Arithmetic) {
+  EXPECT_EQ(run("(+ 1 2 3)").as_integer(), 6);
+  EXPECT_EQ(run("(- 10 3 2)").as_integer(), 5);
+  EXPECT_EQ(run("(- 4)").as_integer(), -4);
+  EXPECT_EQ(run("(* 3 4)").as_integer(), 12);
+  EXPECT_EQ(run("(// 7 2)").as_integer(), 3);
+  EXPECT_EQ(run("(mod 7 2)").as_integer(), 1);
+  EXPECT_EQ(run("(mod -1 4)").as_integer(), 3);  // mathematical modulus
+  EXPECT_THROW(run("(// 1 0)"), LangError);
+  EXPECT_THROW(run("(mod 1 0)"), LangError);
+}
+
+TEST_F(InterpTest, ComparisonsAndLogic) {
+  EXPECT_TRUE(run("(= 3 3)").as_boolean());
+  EXPECT_FALSE(run("(= 3 4)").as_boolean());
+  EXPECT_TRUE(run("(/= 3 4)").as_boolean());
+  EXPECT_TRUE(run("(> 4 3)").as_boolean());
+  EXPECT_TRUE(run("(< 3 4)").as_boolean());
+  EXPECT_TRUE(run("(>= 4 4)").as_boolean());
+  EXPECT_TRUE(run("(<= 4 4)").as_boolean());
+  EXPECT_TRUE(run("(and true 1 2)").truthy());
+  EXPECT_FALSE(run("(and true 0)").truthy());
+  EXPECT_TRUE(run("(or 0 false 5)").truthy());
+  EXPECT_FALSE(run("(or 0 false)").truthy());
+  EXPECT_TRUE(run("(not 0)").as_boolean());
+}
+
+TEST_F(InterpTest, EqualityComparesStringsAndSymbols) {
+  EXPECT_TRUE(run("(= \"x\" \"x\")").as_boolean());
+  EXPECT_FALSE(run("(= \"x\" \"y\")").as_boolean());
+}
+
+TEST_F(InterpTest, CondEvaluatesFirstTruthyClause) {
+  EXPECT_EQ(run("(cond ((= 1 2) 10) ((= 1 1) 20) (true 30))").as_integer(), 20);
+  EXPECT_EQ(run("(cond ((= 1 2) 10) (true 30))").as_integer(), 30);
+  EXPECT_TRUE(run("(cond ((= 1 2) 10))").is_nil());
+}
+
+TEST_F(InterpTest, DoLoopTestsExitBeforeBody) {
+  EXPECT_EQ(run("(assign sum 0) (do (i 1 (+ i 1) (> i 4)) (assign sum (+ sum i))) sum")
+                .as_integer(),
+            10);
+  // Exit true immediately: body never runs.
+  EXPECT_EQ(run("(assign t 0) (do (i 2 (+ i 1) (> i 1)) (assign t 99)) t").as_integer(), 0);
+}
+
+TEST_F(InterpTest, AssignAndSetqAreSynonyms) {
+  EXPECT_EQ(run("(setq x 5) (assign y (+ x 2)) y").as_integer(), 7);
+}
+
+TEST_F(InterpTest, IndexedVariablesMangleWithEvaluatedIndices) {
+  EXPECT_EQ(run("(assign i 3) (assign l.i 42) l.3").as_integer(), 42);
+  EXPECT_EQ(run("(assign l.(+ 1 1) 7) l.2").as_integer(), 7);
+  EXPECT_EQ(run("(assign g.1.2 9) (assign i 1) g.i.(+ i 1)").as_integer(), 9);
+}
+
+TEST_F(InterpTest, FunctionsReturnLastValue) {
+  EXPECT_EQ(run("(defun sq (x) (locals) (* x x)) (sq 6)").as_integer(), 36);
+  // fmin from Appendix B.
+  EXPECT_EQ(run("(defun fmin (x y) (locals) (cond ((> x y) y) (true x))) (fmin 5 3)")
+                .as_integer(),
+            3);
+}
+
+TEST_F(InterpTest, RecursionWorks) {
+  EXPECT_EQ(run("(defun fact (n) (locals) (cond ((= n 0) 1) (true (* n (fact (- n 1)))))) "
+                "(fact 10)")
+                .as_integer(),
+            3628800);
+}
+
+TEST_F(InterpTest, RunawayRecursionIsCaught) {
+  EXPECT_THROW(run("(defun loop (n) (locals) (loop (+ n 1))) (loop 0)"), LangError);
+}
+
+TEST_F(InterpTest, MacrosReturnTheirEnvironment) {
+  const Value v = run("(macro mpair (x) (locals y) (assign y (* x 2)) 999) (mpair 21)");
+  ASSERT_TRUE(v.is_environment());
+  const Value* y = v.as_environment()->find("y");
+  ASSERT_NE(y, nullptr);
+  EXPECT_EQ(y->as_integer(), 42);
+  EXPECT_EQ(v.as_environment()->find("x")->as_integer(), 21);
+}
+
+TEST_F(InterpTest, SubcellSelectsFromReturnedEnvironment) {
+  EXPECT_EQ(run("(macro mpair (x) (locals y) (assign y (* x 2))) "
+                "(assign e (mpair 21)) (subcell e y)")
+                .as_integer(),
+            42);
+  // Indexed second argument: indices evaluate in the CALLER's frame.
+  EXPECT_EQ(run("(macro mrow () (locals) (assign r.1 10) (assign r.2 20)) "
+                "(assign e (mrow)) (assign i 2) (subcell e r.i)")
+                .as_integer(),
+            20);
+}
+
+TEST_F(InterpTest, SubcellOnMissingVariableFails) {
+  EXPECT_THROW(run("(macro mp () (locals)) (subcell (mp) nothere)"), LangError);
+  EXPECT_THROW(run("(subcell 5 x)"), LangError);
+}
+
+TEST_F(InterpTest, MacroNamesMustStartWithM) {
+  EXPECT_THROW(run("(macro pair (x) (locals))"), LangError);
+  EXPECT_THROW(run("(defun mfoo (x) (locals))"), LangError);
+}
+
+TEST_F(InterpTest, BuiltinsCannotBeRedefined) {
+  EXPECT_THROW(run("(defun connect (x) (locals))"), LangError);
+}
+
+TEST_F(InterpTest, UnknownCalleeAndUnboundVariableErrors) {
+  EXPECT_THROW(run("(nosuchthing 1)"), LangError);
+  EXPECT_THROW(run("nosuchvar"), LangError);
+  EXPECT_THROW(run("(+ 1 \"x\")"), LangError);
+}
+
+TEST_F(InterpTest, ArityIsChecked) {
+  EXPECT_THROW(run("(defun f (x y) (locals) x) (f 1)"), LangError);
+  EXPECT_THROW(run("(mod 3)"), LangError);
+}
+
+TEST_F(InterpTest, PrintWritesToOutputStream) {
+  run("(print 1 (+ 1 1) \"three\")");
+  EXPECT_EQ(output_.str(), "1 2 three\n");
+}
+
+TEST_F(InterpTest, GraphPrimitivesBuildAndExpand) {
+  const Value v = run(
+      "(mk_instance x cella)"
+      "(mk_instance y cella)"
+      "(connect x y 1)"
+      "(mk_instance z cellb)"
+      "(connect x z 2)"
+      "(mk_cell \"trio\" x)");
+  ASSERT_TRUE(v.is_cell());
+  EXPECT_EQ(v.as_cell()->name(), "trio");
+  EXPECT_EQ(v.as_cell()->instances().size(), 3u);
+  EXPECT_TRUE(cells_.contains("trio"));
+}
+
+TEST_F(InterpTest, MkInstanceBindsItsVariable) {
+  const Value v = run("(mk_instance n cella) n");
+  EXPECT_TRUE(v.is_node());
+  EXPECT_EQ(v.as_node()->cell->name(), "cella");
+}
+
+TEST_F(InterpTest, ArrayBuiltinBuildsAChainEnvironment) {
+  const Value v = run("(array cella 4 1)");
+  ASSERT_TRUE(v.is_environment());
+  EXPECT_EQ(v.as_environment()->find("count")->as_integer(), 4);
+  for (int i = 1; i <= 4; ++i) {
+    EXPECT_NE(v.as_environment()->find("c." + std::to_string(i)), nullptr);
+  }
+  EXPECT_EQ(graph_.node_count(), 4u);
+  EXPECT_EQ(graph_.edge_count(), 3u);
+  EXPECT_THROW(run("(array cella 0 1)"), LangError);
+}
+
+TEST_F(InterpTest, DeclareInterfaceInheritsForMacrocells) {
+  run("(mk_instance x cella)"
+      "(mk_instance y cella)"
+      "(connect x y 1)"
+      "(mk_cell \"pair\" x)"
+      "(declare_interface pair pair 1 y x 1)");
+  // The new pair/pair interface #1 chains pairs with the spacing inherited
+  // from the inner cella/cella interface: the second pair's x sits 12 right
+  // of the first pair's y (which is at 12), so the pair pitch is 24.
+  const Interface i = interfaces_.get("pair", "pair", 1);
+  EXPECT_EQ(i.vector, (Vec{24, 0}));
+  EXPECT_EQ(i.orientation, Orientation::kNorth);
+}
+
+TEST_F(InterpTest, DeclareInterfaceValidatesOwnership) {
+  EXPECT_THROW(
+      run("(mk_instance x cella)"
+          "(mk_instance y cella)"
+          "(connect x y 1)"
+          "(declare_interface cella cella 1 x y 1)"),  // x not expanded yet
+      LangError);
+}
+
+TEST_F(InterpTest, StatsCountFramesAndCalls) {
+  run("(defun f (x) (locals) x) (f 1) (f 2) (f 3)");
+  EXPECT_EQ(interp_.stats().procedure_calls, 3u);
+  EXPECT_GE(interp_.stats().frames_created, 3u);
+}
+
+}  // namespace
+}  // namespace rsg::lang

@@ -1,0 +1,85 @@
+// Lexer tests: token classes, indexed-variable dots, comments, errors.
+#include "lang/lexer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace rsg::lang {
+namespace {
+
+std::vector<Token::Kind> kinds(const std::string& source) {
+  std::vector<Token::Kind> result;
+  for (const Token& t : tokenize(source)) result.push_back(t.kind);
+  return result;
+}
+
+TEST(Lexer, BasicTokens) {
+  const auto tokens = tokenize("(+ 1 23)");
+  ASSERT_EQ(tokens.size(), 6u);  // ( + 1 23 ) END
+  EXPECT_EQ(tokens[0].kind, Token::Kind::kLParen);
+  EXPECT_EQ(tokens[1].kind, Token::Kind::kSymbol);
+  EXPECT_EQ(tokens[1].text, "+");
+  EXPECT_EQ(tokens[2].number, 1);
+  EXPECT_EQ(tokens[3].number, 23);
+  EXPECT_EQ(tokens[4].kind, Token::Kind::kRParen);
+  EXPECT_EQ(tokens[5].kind, Token::Kind::kEnd);
+}
+
+TEST(Lexer, SymbolsWithOperatorsAndHyphens) {
+  const auto tokens = tokenize("mk_instance basic-cell // >= /=");
+  EXPECT_EQ(tokens[0].text, "mk_instance");
+  EXPECT_EQ(tokens[1].text, "basic-cell");
+  EXPECT_EQ(tokens[2].text, "//");
+  EXPECT_EQ(tokens[3].text, ">=");
+  EXPECT_EQ(tokens[4].text, "/=");
+}
+
+TEST(Lexer, NegativeNumbersVersusMinusSymbol) {
+  const auto tokens = tokenize("(- -5 x)");
+  EXPECT_EQ(tokens[1].text, "-");
+  EXPECT_EQ(tokens[2].kind, Token::Kind::kNumber);
+  EXPECT_EQ(tokens[2].number, -5);
+}
+
+TEST(Lexer, DotsAreSeparateTokens) {
+  const auto tokens = tokenize("l.3 c.(- i 1)");
+  // l . 3 c . ( - i 1 ) END
+  EXPECT_EQ(kinds("l.3"),
+            (std::vector<Token::Kind>{Token::Kind::kSymbol, Token::Kind::kDot,
+                                      Token::Kind::kNumber, Token::Kind::kEnd}));
+  EXPECT_EQ(tokens[4].kind, Token::Kind::kDot);
+  EXPECT_EQ(tokens[5].kind, Token::Kind::kLParen);
+}
+
+TEST(Lexer, StringsAndComments) {
+  const auto tokens = tokenize("(mk_cell \"the whole thing\" x) ; trailing comment\n42");
+  EXPECT_EQ(tokens[1].text, "mk_cell");
+  EXPECT_EQ(tokens[2].kind, Token::Kind::kString);
+  EXPECT_EQ(tokens[2].text, "the whole thing");
+  EXPECT_EQ(tokens[5].number, 42);
+}
+
+TEST(Lexer, TracksLineAndColumn) {
+  const auto tokens = tokenize("(a\n  b)");
+  EXPECT_EQ(tokens[1].line, 1);
+  EXPECT_EQ(tokens[1].column, 2);
+  EXPECT_EQ(tokens[2].line, 2);
+  EXPECT_EQ(tokens[2].column, 3);
+}
+
+TEST(Lexer, Errors) {
+  EXPECT_THROW(tokenize("\"unterminated"), LangError);
+  EXPECT_THROW(tokenize("\"multi\nline\""), LangError);
+  EXPECT_THROW(tokenize("12abc"), LangError);
+  EXPECT_THROW(tokenize("@"), LangError);
+}
+
+TEST(Lexer, EmptyInputYieldsOnlyEnd) {
+  const auto tokens = tokenize("  ; just a comment\n");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, Token::Kind::kEnd);
+}
+
+}  // namespace
+}  // namespace rsg::lang

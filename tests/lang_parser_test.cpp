@@ -1,0 +1,108 @@
+// Parser tests: S-expressions, indexed variables (Appendix A's indexed and
+// 2indexed variables), and error reporting with source locations.
+#include "lang/parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace rsg::lang {
+namespace {
+
+TEST(Parser, Atoms) {
+  EXPECT_EQ(parse_form("42").kind, Expr::Kind::kNumber);
+  EXPECT_EQ(parse_form("42").number, 42);
+  EXPECT_EQ(parse_form("\"hi\"").kind, Expr::Kind::kString);
+  EXPECT_EQ(parse_form("\"hi\"").text, "hi");
+  EXPECT_EQ(parse_form("foo").kind, Expr::Kind::kVar);
+  EXPECT_EQ(parse_form("foo").text, "foo");
+}
+
+TEST(Parser, SimpleCall) {
+  const Expr e = parse_form("(+ 1 (- 2 3))");
+  ASSERT_EQ(e.kind, Expr::Kind::kList);
+  ASSERT_EQ(e.elements.size(), 3u);
+  EXPECT_TRUE(e.elements[0].is_var("+"));
+  EXPECT_EQ(e.elements[2].kind, Expr::Kind::kList);
+}
+
+TEST(Parser, IndexedVariableWithLiteralIndex) {
+  const Expr e = parse_form("l.3");
+  ASSERT_EQ(e.kind, Expr::Kind::kVar);
+  EXPECT_EQ(e.text, "l");
+  ASSERT_EQ(e.indices.size(), 1u);
+  EXPECT_EQ(e.indices[0].number, 3);
+}
+
+TEST(Parser, IndexedVariableWithVariableIndex) {
+  const Expr e = parse_form("cl.ysize");
+  EXPECT_EQ(e.text, "cl");
+  ASSERT_EQ(e.indices.size(), 1u);
+  EXPECT_TRUE(e.indices[0].is_var("ysize"));
+}
+
+TEST(Parser, IndexedVariableWithExpressionIndex) {
+  const Expr e = parse_form("l.(- i 1)");
+  ASSERT_EQ(e.indices.size(), 1u);
+  EXPECT_EQ(e.indices[0].kind, Expr::Kind::kList);
+  EXPECT_TRUE(e.indices[0].elements[0].is_var("-"));
+}
+
+TEST(Parser, TwoIndexedVariable) {
+  const Expr e = parse_form("grid.i.(+ j 1)");
+  EXPECT_EQ(e.text, "grid");
+  ASSERT_EQ(e.indices.size(), 2u);
+  EXPECT_TRUE(e.indices[0].is_var("i"));
+  EXPECT_EQ(e.indices[1].kind, Expr::Kind::kList);
+}
+
+TEST(Parser, ThreeIndicesRejected) {
+  EXPECT_THROW(parse_form("a.1.2.3"), LangError);
+}
+
+TEST(Parser, EmptyListAllowed) {
+  // Empty formals lists: (defun f () ...).
+  const Expr e = parse_form("()");
+  EXPECT_EQ(e.kind, Expr::Kind::kList);
+  EXPECT_TRUE(e.elements.empty());
+}
+
+TEST(Parser, ProgramParsesMultipleForms) {
+  const Program p = parse_program("(a 1) (b 2) 7");
+  ASSERT_EQ(p.size(), 3u);
+  EXPECT_EQ(p[2].number, 7);
+}
+
+TEST(Parser, AppendixBShapedMacroParses) {
+  // A fragment with the exact syntactic features of the thesis's multiplier
+  // design file (Appendix B).
+  const char* source = R"((macro mcell (xsize ysize xloc yloc)
+    (locals c temp)
+    (mk_instance c basiccell)
+    (cond ((= (+ ysize 1) yloc) (connect c (mk_instance temp typei) tiinum))
+          (true (cond ((= ysize yloc) (connect c (mk_instance temp type2) t2inum))
+                      (true (connect c (mk_instance temp typei) tiinum)))))
+    (do (i 2 (+ 1 i) (> i xsize))
+        (assign l.i (mcell xsize ysize i currentline))
+        (connect (subcell l.(- i 1) c) (subcell l.i c) hinum))))";
+  const Expr e = parse_form(source);
+  EXPECT_TRUE(e.elements[0].is_var("macro"));
+  EXPECT_TRUE(e.elements[1].is_var("mcell"));
+  EXPECT_EQ(e.elements[2].elements.size(), 4u);  // formals
+  EXPECT_TRUE(e.elements[3].elements[0].is_var("locals"));
+}
+
+TEST(Parser, ErrorsCarryLocations) {
+  try {
+    parse_program("(foo\n   (bar");
+    FAIL() << "expected LangError";
+  } catch (const LangError& e) {
+    EXPECT_EQ(e.line(), 2);  // the innermost unclosed paren
+  }
+  EXPECT_THROW(parse_program(")"), LangError);
+  EXPECT_THROW(parse_program("a. "), LangError);
+  EXPECT_THROW(parse_form("1 2"), Error);  // trailing input
+}
+
+}  // namespace
+}  // namespace rsg::lang

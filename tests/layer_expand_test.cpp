@@ -1,0 +1,90 @@
+// Tests for symbolic contact expansion (§6.4.3, Figure 6.9).
+#include "compact/layer_expand.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace rsg::compact {
+namespace {
+
+int count_layer(const std::vector<LayerBox>& boxes, Layer layer) {
+  int n = 0;
+  for (const LayerBox& lb : boxes) n += (lb.layer == layer);
+  return n;
+}
+
+TEST(LayerExpand, MinimalContactYieldsOneCut) {
+  // 8x8 contact: interior 4x4 holds exactly one 4x4 cut.
+  const std::vector<LayerBox> in = {{Layer::kContact, Box(0, 0, 8, 8)}};
+  const auto out = expand_contacts(in);
+  EXPECT_EQ(count_layer(out, Layer::kMetal1), 1);
+  EXPECT_EQ(count_layer(out, Layer::kPoly), 1);
+  EXPECT_EQ(count_layer(out, Layer::kContactCut), 1);
+  EXPECT_EQ(count_layer(out, Layer::kContact), 0);
+  // The single cut is centered.
+  for (const LayerBox& lb : out) {
+    if (lb.layer == Layer::kContactCut) {
+      EXPECT_EQ(lb.box, Box(2, 2, 6, 6));
+    }
+  }
+}
+
+TEST(LayerExpand, LargeContactYieldsCutArray) {
+  // Figure 6.9: a big contact becomes a grid of cuts. Interior 20x12:
+  // 3 cuts along x (4 + 8k <= 20 -> k = 2), 2 along y.
+  const std::vector<LayerBox> in = {{Layer::kContact, Box(0, 0, 24, 16)}};
+  const auto out = expand_contacts(in);
+  EXPECT_EQ(count_layer(out, Layer::kContactCut), 6);
+  EXPECT_EQ(cut_count(Box(0, 0, 24, 16)), 6);
+}
+
+TEST(LayerExpand, CutCountGrowsWithContactSize) {
+  int previous = 0;
+  for (Coord size = 8; size <= 40; size += 8) {
+    const int cuts = cut_count(Box(0, 0, size, size));
+    EXPECT_GE(cuts, previous);
+    previous = cuts;
+  }
+  EXPECT_EQ(cut_count(Box(0, 0, 40, 40)), 25);  // 5x5 grid
+}
+
+TEST(LayerExpand, NonContactLayersPassThrough) {
+  const std::vector<LayerBox> in = {
+      {Layer::kMetal1, Box(0, 0, 10, 4)},
+      {Layer::kContact, Box(20, 0, 28, 8)},
+      {Layer::kDiffusion, Box(40, 0, 50, 4)},
+  };
+  const auto out = expand_contacts(in);
+  EXPECT_EQ(count_layer(out, Layer::kMetal1), 2);  // original + contact metal
+  EXPECT_EQ(count_layer(out, Layer::kDiffusion), 1);
+}
+
+TEST(LayerExpand, TooSmallContactThrows) {
+  const std::vector<LayerBox> in = {{Layer::kContact, Box(0, 0, 6, 6)}};
+  EXPECT_THROW(expand_contacts(in), Error);
+}
+
+TEST(LayerExpand, CustomRuleTable) {
+  ContactRules rules;
+  rules.cut_size = 2;
+  rules.cut_spacing = 2;
+  rules.metal_overlap = 1;
+  const std::vector<LayerBox> in = {{Layer::kContact, Box(0, 0, 10, 6)}};
+  const auto out = expand_contacts(in, rules);
+  // Interior 8x4: 2 cuts along x ((8-2)/4+1 = 2), 1 along y.
+  EXPECT_EQ(count_layer(out, Layer::kContactCut), 2);
+}
+
+TEST(LayerExpand, CutsStayInsideTheContact) {
+  const Box contact(3, 5, 37, 31);
+  const auto out = expand_contacts({{Layer::kContact, contact}});
+  for (const LayerBox& lb : out) {
+    if (lb.layer != Layer::kContactCut) continue;
+    EXPECT_TRUE(contact.contains(lb.box.lo));
+    EXPECT_TRUE(contact.contains(lb.box.hi));
+  }
+}
+
+}  // namespace
+}  // namespace rsg::compact

@@ -1,0 +1,175 @@
+// Tests for the layout database: cells, flattening, box merging (the §6.4.1
+// preprocessing), bounding boxes, and the design-rule checker.
+#include "layout/cell.hpp"
+
+#include <gtest/gtest.h>
+
+#include "layout/cell_table.hpp"
+#include "layout/design_rules.hpp"
+#include "layout/flatten.hpp"
+#include "support/error.hpp"
+
+namespace rsg {
+namespace {
+
+TEST(CellTable, CreateFindAndDuplicateDetection) {
+  CellTable table;
+  Cell& a = table.create("a");
+  EXPECT_EQ(table.find("a"), &a);
+  EXPECT_EQ(table.find("b"), nullptr);
+  EXPECT_THROW(table.create("a"), LayoutError);
+  EXPECT_THROW(table.get("b"), LayoutError);
+  EXPECT_EQ(table.names_in_order(), (std::vector<std::string>{"a"}));
+}
+
+TEST(Cell, BoundingBoxCoversBoxesAndInstances) {
+  CellTable table;
+  Cell& leaf = table.create("leaf");
+  leaf.add_box(Layer::kMetal1, Box(0, 0, 10, 10));
+  Cell& parent = table.create("parent");
+  parent.add_box(Layer::kPoly, Box(-5, -5, 0, 0));
+  parent.add_instance(&leaf, Placement{{20, 0}, Orientation::kNorth});
+  EXPECT_EQ(parent.bounding_box(), Box(-5, -5, 30, 10));
+}
+
+TEST(Cell, BoundingBoxRespectsOrientation) {
+  CellTable table;
+  Cell& leaf = table.create("leaf");
+  leaf.add_box(Layer::kMetal1, Box(0, 0, 10, 4));
+  Cell& parent = table.create("parent");
+  parent.add_instance(&leaf, Placement{{0, 0}, Orientation::kWest});
+  // West: (x,y) -> (-y,x): the 10x4 box becomes 4x10 at [-4..0]x[0..10].
+  EXPECT_EQ(parent.bounding_box(), Box(-4, 0, 0, 10));
+}
+
+TEST(Cell, SelfInstantiationRejected) {
+  CellTable table;
+  Cell& a = table.create("a");
+  EXPECT_THROW(a.add_instance(&a, kIdentityPlacement), LayoutError);
+  EXPECT_THROW(a.add_instance(nullptr, kIdentityPlacement), LayoutError);
+}
+
+TEST(Flatten, TransformsThroughTwoLevels) {
+  CellTable table;
+  Cell& leaf = table.create("leaf");
+  leaf.add_box(Layer::kMetal1, Box(0, 0, 2, 1));
+  Cell& mid = table.create("mid");
+  mid.add_instance(&leaf, Placement{{10, 0}, Orientation::kSouth});
+  Cell& top = table.create("top");
+  top.add_instance(&mid, Placement{{100, 100}, Orientation::kNorth});
+
+  const auto boxes = flatten_boxes(top);
+  ASSERT_EQ(boxes.size(), 1u);
+  // leaf box under South at (10,0): (-2,-1)..(0,0) shifted to (8,-1)..(10,0),
+  // then +(100,100).
+  EXPECT_EQ(boxes[0].box, Box(108, 99, 110, 100));
+}
+
+TEST(Flatten, CountsAndLabels) {
+  CellTable table;
+  Cell& leaf = table.create("leaf");
+  leaf.add_box(Layer::kMetal1, Box(0, 0, 2, 2));
+  leaf.add_label("pin", {1, 1});
+  Cell& top = table.create("top");
+  top.add_instance(&leaf, Placement{{10, 0}, Orientation::kNorth});
+  top.add_instance(&leaf, Placement{{20, 0}, Orientation::kNorth});
+
+  EXPECT_EQ(top.flattened_box_count(), 2u);
+  EXPECT_EQ(top.flattened_instance_count(), 2u);
+  const FlattenResult flat = flatten(top);
+  ASSERT_EQ(flat.labels.size(), 2u);
+  EXPECT_EQ(flat.labels[0].at, (Point{11, 1}));
+  EXPECT_EQ(flat.labels[1].at, (Point{21, 1}));
+}
+
+TEST(Flatten, DetectsRunawayDepth) {
+  // CellTable cannot create cycles, but hand-wired cells can.
+  Cell a("a");
+  Cell b("b");
+  a.add_instance(&b, kIdentityPlacement);
+  // Wire the cycle through the back door of vector storage.
+  b.add_instance(&a, kIdentityPlacement);
+  EXPECT_THROW(flatten(a), LayoutError);
+}
+
+TEST(MergeBoxes, JoinsAbuttingFragments) {
+  // Figure 6.5's fragmented bus: n abutting boxes merge into one strip.
+  std::vector<LayerBox> boxes;
+  for (int i = 0; i < 6; ++i) {
+    boxes.push_back({Layer::kDiffusion, Box(i * 10, 0, (i + 1) * 10, 4)});
+  }
+  const auto merged = merge_boxes(boxes);
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].box, Box(0, 0, 60, 4));
+}
+
+TEST(MergeBoxes, OverlappingBoxesMergeButLayersStaySeparate) {
+  std::vector<LayerBox> boxes = {
+      {Layer::kMetal1, Box(0, 0, 10, 4)},
+      {Layer::kMetal1, Box(5, 0, 20, 4)},
+      {Layer::kPoly, Box(0, 0, 10, 4)},
+  };
+  const auto merged = merge_boxes(boxes);
+  ASSERT_EQ(merged.size(), 2u);
+  int metal = 0;
+  int poly = 0;
+  for (const LayerBox& lb : merged) {
+    if (lb.layer == Layer::kMetal1) {
+      ++metal;
+      EXPECT_EQ(lb.box, Box(0, 0, 20, 4));
+    } else {
+      ++poly;
+    }
+  }
+  EXPECT_EQ(metal, 1);
+  EXPECT_EQ(poly, 1);
+}
+
+TEST(MergeBoxes, LShapeSplitsIntoMaximalHorizontalStrips) {
+  // Vertical bar [0..4]x[0..20] + horizontal bar [0..20]x[0..4]: the merge
+  // produces maximal-x strips, so no vertical edge is hidden (§6.4.1).
+  std::vector<LayerBox> boxes = {
+      {Layer::kMetal1, Box(0, 0, 4, 20)},
+      {Layer::kMetal1, Box(0, 0, 20, 4)},
+  };
+  auto merged = merge_boxes(boxes);
+  ASSERT_EQ(merged.size(), 2u);
+  std::sort(merged.begin(), merged.end(),
+            [](const LayerBox& a, const LayerBox& b) { return a.box.lo.y < b.box.lo.y; });
+  EXPECT_EQ(merged[0].box, Box(0, 0, 20, 4));
+  EXPECT_EQ(merged[1].box, Box(0, 4, 4, 20));
+}
+
+TEST(DesignRules, CleanLayoutPasses) {
+  std::vector<LayerBox> boxes = {
+      {Layer::kMetal1, Box(0, 0, 10, 4)},
+      {Layer::kMetal1, Box(0, 10, 10, 14)},  // 6 apart: exactly legal
+  };
+  EXPECT_TRUE(check_design_rules(boxes, DesignRules::mosis_lambda()).empty());
+}
+
+TEST(DesignRules, WidthAndSpacingViolationsReported) {
+  std::vector<LayerBox> boxes = {
+      {Layer::kMetal1, Box(0, 0, 3, 4)},     // 3 < min width 4
+      {Layer::kMetal1, Box(9, 0, 20, 4)},    // 6 apart from first: legal
+      {Layer::kMetal1, Box(24, 0, 40, 4)},   // 4 < 6 from second: violation
+  };
+  const auto violations = check_design_rules(boxes, DesignRules::mosis_lambda());
+  ASSERT_EQ(violations.size(), 2u);
+  EXPECT_EQ(violations[0].rule, "min_width(metal1)");
+  EXPECT_EQ(violations[1].rule, "min_spacing(metal1,metal1)");
+}
+
+TEST(DesignRules, AbuttingSameLayerBoxesAreOneNet) {
+  // The RSG's overlap-tolerant placement (§2.3) must not flag abutment or
+  // overlap of same-layer material as a spacing violation.
+  std::vector<LayerBox> boxes = {
+      {Layer::kPoly, Box(0, 0, 10, 4)},
+      {Layer::kPoly, Box(10, 0, 20, 4)},
+      {Layer::kPoly, Box(15, 0, 30, 4)},
+  };
+  EXPECT_TRUE(check_design_rules(boxes, DesignRules::mosis_lambda()).empty());
+}
+
+}  // namespace
+}  // namespace rsg

@@ -1,0 +1,177 @@
+// Tests for leaf-cell compaction (§6.1–§6.3, Figure 6.3): variable folding,
+// identical instance geometry, pitch optimization, the cost-function
+// tradeoff of Figure 6.2, and library reconstruction.
+#include "compact/leaf_compactor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "compact/flat_compactor.hpp"
+#include "support/error.hpp"
+
+namespace rsg::compact {
+namespace {
+
+class LeafTest : public ::testing::Test {
+ protected:
+  LeafTest() {
+    // A sparse cell: two rigid metal bars with slack between them.
+    Cell& a = cells_.create("a");
+    a.add_box(Layer::kMetal1, Box(0, 0, 10, 4));
+    a.add_box(Layer::kMetal1, Box(30, 0, 40, 4));
+    interfaces_.declare("a", "a", 1, Interface{{60, 0}, Orientation::kNorth});
+  }
+
+  CellTable cells_;
+  InterfaceTable interfaces_;
+};
+
+TEST_F(LeafTest, Figure63VariableFolding) {
+  // One cell with 2 boxes = 4 edge unknowns; the two-instance pair layout
+  // would need 8. Folded: 4 + one pitch = 5 — the exact counts of Fig 6.3.
+  const LeafResult result = compact_leaf_cells(cells_, interfaces_, {"a"},
+                                               {{"a", "a", 1, 1.0}}, CompactionRules::mosis());
+  EXPECT_EQ(result.variable_count, 5u);
+  EXPECT_EQ(result.unfolded_variable_count, 8u);
+}
+
+TEST_F(LeafTest, PitchShrinksToPackedMinimum) {
+  const LeafResult result = compact_leaf_cells(cells_, interfaces_, {"a"},
+                                               {{"a", "a", 1, 1.0}}, CompactionRules::mosis());
+  // Packed cell: bars at [0,10] and [16,26] (metal spacing 6); the next
+  // instance's first bar needs 6 beyond x=26: λ = 32.
+  ASSERT_EQ(result.pitches.size(), 1u);
+  EXPECT_EQ(result.original_pitches[0], 60);
+  EXPECT_EQ(result.pitches[0], 32);
+  const auto& boxes = result.cells.at("a");
+  EXPECT_EQ(boxes[0].box, Box(0, 0, 10, 4));
+  EXPECT_EQ(boxes[1].box, Box(16, 0, 26, 4));
+}
+
+TEST_F(LeafTest, TiledResultIsDesignRuleClean) {
+  // Instantiate the compacted cell at the compacted pitch several times and
+  // DRC the assembly — the §6.3 promise that the new sample layout is valid.
+  const LeafResult result = compact_leaf_cells(cells_, interfaces_, {"a"},
+                                               {{"a", "a", 1, 1.0}}, CompactionRules::mosis());
+  std::vector<LayerBox> assembled;
+  for (int i = 0; i < 4; ++i) {
+    for (const LayerBox& lb : result.cells.at("a")) {
+      assembled.push_back({lb.layer, lb.box.translated({i * result.pitches[0], 0})});
+    }
+  }
+  EXPECT_TRUE(check_design_rules(assembled, DesignRules::mosis_lambda()).empty());
+}
+
+TEST_F(LeafTest, CompactedLibraryRebuilds) {
+  const std::vector<PitchSpec> specs = {{"a", "a", 1, 1.0}};
+  const LeafResult result =
+      compact_leaf_cells(cells_, interfaces_, {"a"}, specs, CompactionRules::mosis());
+  CellTable new_cells;
+  InterfaceTable new_interfaces;
+  make_compacted_library(result, specs, new_cells, new_interfaces);
+  EXPECT_TRUE(new_cells.contains("a"));
+  EXPECT_EQ(new_interfaces.get("a", "a", 1).vector.x, result.pitches[0]);
+}
+
+TEST(LeafCompaction, TwoCellChainSharesConstraints) {
+  // Figure 6.1's A^n B^m chain: three pitches (a-a, a-b, b-b).
+  CellTable cells;
+  InterfaceTable interfaces;
+  Cell& a = cells.create("a");
+  a.add_box(Layer::kMetal1, Box(0, 0, 10, 4));
+  Cell& b = cells.create("b");
+  b.add_box(Layer::kMetal1, Box(0, 0, 20, 4));
+  interfaces.declare("a", "a", 1, Interface{{40, 0}, Orientation::kNorth});
+  interfaces.declare("a", "b", 1, Interface{{40, 0}, Orientation::kNorth});
+  interfaces.declare("b", "b", 1, Interface{{50, 0}, Orientation::kNorth});
+
+  const std::vector<PitchSpec> specs = {
+      {"a", "a", 1, 10.0}, {"a", "b", 1, 1.0}, {"b", "b", 1, 10.0}};
+  const LeafResult result =
+      compact_leaf_cells(cells, interfaces, {"a", "b"}, specs, CompactionRules::mosis());
+  // λ_aa = 10 + 6; λ_bb = 20 + 6; λ_ab = 10 + 6.
+  EXPECT_EQ(result.pitches[0], 16);
+  EXPECT_EQ(result.pitches[1], 16);
+  EXPECT_EQ(result.pitches[2], 26);
+}
+
+TEST(LeafCompaction, Figure62PitchTradeoff) {
+  // Figure 6.2's tradeoff, engineered so it is provable: the cell holds a
+  // 24-wide top bar (y band [12,16], pinned to x = 0 as the cell's leftmost
+  // content) and a 30-wide bottom bar (y band [0,4]) whose x offset `b` is
+  // free. Interface 1 tiles with Δy = -12 so the next instance's TOP bar
+  // lands in this instance's BOTTOM band: λ1 >= max(36, 36 + b). Interface
+  // 2 tiles with Δy = +12 so the next instance's BOTTOM bar lands in the
+  // TOP band: λ2 >= 30 - b (and >= 0). Shrinking λ1 wants b = 0; shrinking
+  // λ2 wants b large — minimizing one pitch "can be minimized to a greater
+  // extent at the cost of increasing" the other (§6.2).
+  CellTable cells;
+  InterfaceTable interfaces;
+  Cell& a = cells.create("a");
+  a.add_box(Layer::kMetal1, Box(0, 12, 24, 16));  // top bar (leftmost: pinned)
+  a.add_box(Layer::kMetal1, Box(10, 0, 40, 4));   // bottom bar, offset b = 10
+  interfaces.declare("a", "a", 1, Interface{{48, -12}, Orientation::kNorth});
+  interfaces.declare("a", "a", 2, Interface{{60, 12}, Orientation::kNorth});
+
+  auto pitch_for = [&](double w1, double w2) {
+    const std::vector<PitchSpec> specs = {{"a", "a", 1, w1}, {"a", "a", 2, w2}};
+    return compact_leaf_cells(cells, interfaces, {"a"}, specs, CompactionRules::mosis())
+        .pitches;
+  };
+
+  const auto favor1 = pitch_for(100.0, 1.0);
+  const auto favor2 = pitch_for(1.0, 100.0);
+  // favor1: b = 0 -> (λ1, λ2) = (36, 30). favor2: b = 30 -> (66, 0).
+  EXPECT_EQ(favor1[0], 36);
+  EXPECT_EQ(favor1[1], 30);
+  EXPECT_EQ(favor2[0], 66);
+  EXPECT_EQ(favor2[1], 0);
+  // The general statement: each weighting wins its own pitch.
+  EXPECT_LT(favor1[0], favor2[0]);
+  EXPECT_LT(favor2[1], favor1[1]);
+}
+
+TEST(LeafCompaction, Validation) {
+  CellTable cells;
+  InterfaceTable interfaces;
+  Cell& a = cells.create("a");
+  a.add_box(Layer::kMetal1, Box(0, 0, 10, 4));
+  Cell& empty = cells.create("empty");
+  (void)empty;
+  Cell& shifted = cells.create("shifted");
+  shifted.add_box(Layer::kMetal1, Box(-5, 0, 5, 4));
+
+  interfaces.declare("a", "a", 1, Interface{{20, 0}, Orientation::kEast});
+  interfaces.declare("a", "a", 2, Interface{{-20, 0}, Orientation::kNorth});
+  interfaces.declare("shifted", "shifted", 1, Interface{{20, 0}, Orientation::kNorth});
+
+  EXPECT_THROW(compact_leaf_cells(cells, interfaces, {"empty"}, {}, CompactionRules::mosis()),
+               Error);
+  EXPECT_THROW(compact_leaf_cells(cells, interfaces, {"a"}, {{"a", "a", 1, 1.0}},
+                                  CompactionRules::mosis()),
+               Error);  // rotated interface
+  EXPECT_THROW(compact_leaf_cells(cells, interfaces, {"a"}, {{"a", "a", 2, 1.0}},
+                                  CompactionRules::mosis()),
+               Error);  // negative pitch
+  EXPECT_THROW(compact_leaf_cells(cells, interfaces, {"shifted"},
+                                  {{"shifted", "shifted", 1, 1.0}}, CompactionRules::mosis()),
+               Error);  // negative local x
+}
+
+TEST(LeafCompaction, StretchableLayersShrink) {
+  CellTable cells;
+  InterfaceTable interfaces;
+  Cell& a = cells.create("a");
+  a.add_box(Layer::kMetal1, Box(0, 0, 10, 4));     // rigid device
+  a.add_box(Layer::kPoly, Box(10, 1, 40, 3));      // stretchable bus
+  interfaces.declare("a", "a", 1, Interface{{60, 0}, Orientation::kNorth});
+
+  const LeafResult rigid = compact_leaf_cells(cells, interfaces, {"a"}, {{"a", "a", 1, 1.0}},
+                                              CompactionRules::mosis());
+  const LeafResult stretchy =
+      compact_leaf_cells(cells, interfaces, {"a"}, {{"a", "a", 1, 1.0}},
+                         CompactionRules::mosis(), 1e-3, {Layer::kPoly});
+  EXPECT_LT(stretchy.pitches[0], rigid.pitches[0]);
+}
+
+}  // namespace
+}  // namespace rsg::compact

@@ -1,0 +1,154 @@
+// Tests for the §2.6 orientation algebra: the Figure 2.5 coordinate-mapping
+// table, and property sweeps checking the compact (j,k) representation is an
+// exact homomorphic image of 2x2 integer matrix algebra.
+#include "geom/orientation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace rsg {
+namespace {
+
+TEST(Orientation, Figure25CoordinateMapping) {
+  // Figure 2.5: orientation | x coordinate | y coordinate
+  //   North  x   y
+  //   South -x  -y
+  //   East   y  -x
+  //   West  -y   x
+  const Vec v{3, 7};
+  EXPECT_EQ(Orientation::kNorth.apply(v), (Vec{3, 7}));
+  EXPECT_EQ(Orientation::kSouth.apply(v), (Vec{-3, -7}));
+  EXPECT_EQ(Orientation::kEast.apply(v), (Vec{7, -3}));
+  EXPECT_EQ(Orientation::kWest.apply(v), (Vec{-7, 3}));
+}
+
+TEST(Orientation, MirrorReflectsBeforeRotating) {
+  // (j,k) means e^{ij}∘R^k: reflect about the y axis FIRST (§2.6).
+  const Vec v{3, 7};
+  EXPECT_EQ(Orientation::kMirrorNorth.apply(v), (Vec{-3, 7}));
+  // MW: reflect -> (-3,7), then rotate CCW quarter turn -> (-7,-3).
+  EXPECT_EQ(Orientation::kMirrorWest.apply(v), (Vec{-7, -3}));
+  EXPECT_EQ(Orientation::kMirrorSouth.apply(v), (Vec{3, -7}));
+  EXPECT_EQ(Orientation::kMirrorEast.apply(v), (Vec{7, 3}));
+}
+
+TEST(Orientation, NamesRoundTrip) {
+  for (const Orientation o : Orientation::all()) {
+    EXPECT_EQ(Orientation::parse(o.name()), o) << o.name();
+  }
+  EXPECT_THROW(Orientation::parse("NE"), Error);
+  EXPECT_THROW(Orientation::parse(""), Error);
+}
+
+TEST(Orientation, IndexRoundTrip) {
+  for (const Orientation o : Orientation::all()) {
+    EXPECT_EQ(Orientation::from_index(o.index()), o);
+  }
+  EXPECT_THROW(Orientation::from_index(8), Error);
+  EXPECT_THROW(Orientation::from_index(-1), Error);
+}
+
+TEST(Orientation, SouthIsItsOwnInverse) {
+  // §2.2's worked example relies on South^-1 = South (180° = -180°).
+  EXPECT_EQ(Orientation::kSouth.inverse(), Orientation::kSouth);
+}
+
+TEST(Orientation, ReflectionsAreInvolutions) {
+  // §2.6.1: if k = 1 the orientation is a reflection, hence O∘O = I and
+  // O^-1 = O.
+  for (const Orientation o : Orientation::all()) {
+    if (o.is_rotation()) continue;
+    EXPECT_EQ(o.inverse(), o) << o.name();
+    EXPECT_EQ(o.compose(o), Orientation::kNorth) << o.name();
+  }
+}
+
+// --- Property sweep over all 64 ordered pairs -------------------------------
+
+class OrientationPairTest : public ::testing::TestWithParam<std::tuple<int, int>> {
+ protected:
+  Orientation a() const { return Orientation::from_index(std::get<0>(GetParam())); }
+  Orientation b() const { return Orientation::from_index(std::get<1>(GetParam())); }
+};
+
+TEST_P(OrientationPairTest, CompositionMatchesMatrixProduct) {
+  const Orientation::Matrix ma = a().matrix();
+  const Orientation::Matrix mb = b().matrix();
+  // (a∘b) acts as a(b(v)) so its matrix is Ma * Mb.
+  const Orientation::Matrix product{
+      ma.a * mb.a + ma.c * mb.b, ma.b * mb.a + ma.d * mb.b,
+      ma.a * mb.c + ma.c * mb.d, ma.b * mb.c + ma.d * mb.d};
+  EXPECT_EQ(a().compose(b()).matrix(), product) << a().name() << " ∘ " << b().name();
+}
+
+TEST_P(OrientationPairTest, CompositionMatchesPointwiseApplication) {
+  const Vec vs[] = {{1, 0}, {0, 1}, {5, -3}, {-11, 13}};
+  for (const Vec v : vs) {
+    EXPECT_EQ(a().compose(b()).apply(v), a().apply(b().apply(v)));
+  }
+}
+
+TEST_P(OrientationPairTest, InverseOfCompositionIsReversedComposition) {
+  EXPECT_EQ(a().compose(b()).inverse(), b().inverse().compose(a().inverse()));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPairs, OrientationPairTest,
+                         ::testing::Combine(::testing::Range(0, 8), ::testing::Range(0, 8)));
+
+// --- Per-element properties -------------------------------------------------
+
+class OrientationElementTest : public ::testing::TestWithParam<int> {
+ protected:
+  Orientation o() const { return Orientation::from_index(GetParam()); }
+};
+
+TEST_P(OrientationElementTest, InverseComposesToIdentity) {
+  EXPECT_EQ(o().compose(o().inverse()), Orientation::kNorth);
+  EXPECT_EQ(o().inverse().compose(o()), Orientation::kNorth);
+}
+
+TEST_P(OrientationElementTest, IdentityIsNeutral) {
+  EXPECT_EQ(o().compose(Orientation::kNorth), o());
+  EXPECT_EQ(Orientation::kNorth.compose(o()), o());
+}
+
+TEST_P(OrientationElementTest, ApplyPreservesAxisAlignment) {
+  // The eight orientations map unit axis vectors onto unit axis vectors —
+  // the defining property that makes boxes stay boxes (§2.6).
+  for (const Vec axis : {Vec{1, 0}, Vec{0, 1}}) {
+    const Vec image = o().apply(axis);
+    EXPECT_EQ(std::abs(image.x) + std::abs(image.y), 1);
+  }
+}
+
+TEST_P(OrientationElementTest, MatrixDeterminantMatchesMirrorFlag) {
+  const Orientation::Matrix m = o().matrix();
+  const int det = m.a * m.d - m.b * m.c;
+  EXPECT_EQ(det, o().mirrored() ? -1 : 1);
+}
+
+TEST_P(OrientationElementTest, FourthPowerOfRotationsIsIdentity) {
+  if (!o().is_rotation()) return;
+  EXPECT_EQ(o().compose(o()).compose(o()).compose(o()), Orientation::kNorth);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllElements, OrientationElementTest, ::testing::Range(0, 8));
+
+TEST(Orientation, GroupIsClosedAndHasUniqueInverses) {
+  // Cayley-table closure: all 64 products land in the 8-element set, and
+  // every element has exactly one inverse.
+  for (const Orientation a : Orientation::all()) {
+    int identity_count = 0;
+    for (const Orientation b : Orientation::all()) {
+      const Orientation c = a.compose(b);
+      EXPECT_GE(c.index(), 0);
+      EXPECT_LT(c.index(), 8);
+      if (c == Orientation::kNorth) ++identity_count;
+    }
+    EXPECT_EQ(identity_count, 1) << a.name();
+  }
+}
+
+}  // namespace
+}  // namespace rsg

@@ -1,0 +1,138 @@
+// Tests for the dense two-phase simplex solver used by leaf-cell
+// compaction (§6.3).
+#include "compact/simplex.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace rsg::compact {
+namespace {
+
+TEST(Simplex, TrivialMinimumAtOrigin) {
+  // min x + y, x,y >= 0, no constraints: origin.
+  LpProblem p;
+  p.num_vars = 2;
+  p.objective = {1.0, 1.0};
+  const LpSolution s = solve_lp(p);
+  ASSERT_TRUE(s.feasible);
+  ASSERT_TRUE(s.bounded);
+  EXPECT_NEAR(s.objective, 0.0, 1e-9);
+}
+
+TEST(Simplex, ClassicTwoVariableMaximization) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  -> x=2, y=6, z=36.
+  LpProblem p;
+  p.num_vars = 2;
+  p.objective = {-3.0, -5.0};  // minimize the negation
+  p.constraints = {
+      {{{0, 1.0}}, 4.0},
+      {{{1, 2.0}}, 12.0},
+      {{{0, 3.0}, {1, 2.0}}, 18.0},
+  };
+  const LpSolution s = solve_lp(p);
+  ASSERT_TRUE(s.feasible);
+  ASSERT_TRUE(s.bounded);
+  EXPECT_NEAR(s.x[0], 2.0, 1e-7);
+  EXPECT_NEAR(s.x[1], 6.0, 1e-7);
+  EXPECT_NEAR(s.objective, -36.0, 1e-7);
+}
+
+TEST(Simplex, GreaterEqualConstraintsViaNegativeRhs) {
+  // min x s.t. x >= 7  (written -x <= -7): phase 1 must find feasibility.
+  LpProblem p;
+  p.num_vars = 1;
+  p.objective = {1.0};
+  p.constraints = {{{{0, -1.0}}, -7.0}};
+  const LpSolution s = solve_lp(p);
+  ASSERT_TRUE(s.feasible);
+  EXPECT_NEAR(s.x[0], 7.0, 1e-7);
+}
+
+TEST(Simplex, DifferenceConstraintChain) {
+  // min x3 s.t. x1 >= 2, x2 - x1 >= 3, x3 - x2 >= 4  -> x3 = 9.
+  LpProblem p;
+  p.num_vars = 3;
+  p.objective = {0.0, 0.0, 1.0};
+  p.constraints = {
+      {{{0, -1.0}}, -2.0},
+      {{{0, 1.0}, {1, -1.0}}, -3.0},
+      {{{1, 1.0}, {2, -1.0}}, -4.0},
+  };
+  const LpSolution s = solve_lp(p);
+  ASSERT_TRUE(s.feasible);
+  EXPECT_NEAR(s.x[2], 9.0, 1e-7);
+}
+
+TEST(Simplex, InfeasibleDetected) {
+  // x <= 1 and x >= 3.
+  LpProblem p;
+  p.num_vars = 1;
+  p.objective = {1.0};
+  p.constraints = {
+      {{{0, 1.0}}, 1.0},
+      {{{0, -1.0}}, -3.0},
+  };
+  const LpSolution s = solve_lp(p);
+  EXPECT_FALSE(s.feasible);
+}
+
+TEST(Simplex, UnboundedDetected) {
+  // min -x, x >= 0, unconstrained above.
+  LpProblem p;
+  p.num_vars = 1;
+  p.objective = {-1.0};
+  const LpSolution s = solve_lp(p);
+  ASSERT_TRUE(s.feasible);
+  EXPECT_FALSE(s.bounded);
+}
+
+TEST(Simplex, PitchStyleSystem) {
+  // The Figure 6.3 shape: edge variables x1..x4 of one cell plus pitch λ.
+  // Intra: x2 - x1 >= 2, x3 - x2 >= 3, x4 - x3 >= 2.
+  // Inter (folded): x1 - x4 + λ >= 4  and  x3 - x4 + λ >= 9.
+  // min λ: λ = max(4 + x4 - x1, 9 + x4 - x3) with x deltas at their minima:
+  // x4 - x1 = 7, x4 - x3 = 2  ->  λ = max(11, 11) = 11.
+  LpProblem p;
+  p.num_vars = 5;  // x1..x4, λ
+  p.objective = {0.0, 0.0, 0.0, 0.0, 1.0};
+  auto ge = [&](std::vector<std::pair<int, double>> terms, double rhs) {
+    for (auto& [v, c] : terms) c = -c;
+    p.constraints.push_back({std::move(terms), -rhs});
+  };
+  ge({{1, 1.0}, {0, -1.0}}, 2.0);
+  ge({{2, 1.0}, {1, -1.0}}, 3.0);
+  ge({{3, 1.0}, {2, -1.0}}, 2.0);
+  ge({{0, 1.0}, {3, -1.0}, {4, 1.0}}, 4.0);
+  ge({{2, 1.0}, {3, -1.0}, {4, 1.0}}, 9.0);
+  const LpSolution s = solve_lp(p);
+  ASSERT_TRUE(s.feasible);
+  ASSERT_TRUE(s.bounded);
+  EXPECT_NEAR(s.x[4], 11.0, 1e-7);
+}
+
+TEST(Simplex, ObjectiveSizeValidated) {
+  LpProblem p;
+  p.num_vars = 2;
+  p.objective = {1.0};
+  EXPECT_THROW(solve_lp(p), Error);
+}
+
+TEST(Simplex, DegenerateTiesDoNotCycle) {
+  // A degenerate system with many ties — Bland's rule must terminate.
+  LpProblem p;
+  p.num_vars = 3;
+  p.objective = {-0.75, 150.0, -0.02};
+  p.constraints = {
+      {{{0, 0.25}, {1, -60.0}, {2, -0.04}}, 0.0},
+      {{{0, 0.5}, {1, -90.0}, {2, -0.02}}, 0.0},
+      {{{2, 1.0}}, 1.0},
+  };
+  const LpSolution s = solve_lp(p);
+  ASSERT_TRUE(s.feasible);
+  ASSERT_TRUE(s.bounded);
+  EXPECT_NEAR(s.objective, -0.05, 1e-6);
+}
+
+}  // namespace
+}  // namespace rsg::compact
