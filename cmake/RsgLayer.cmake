@@ -1,0 +1,27 @@
+# rsg_add_layer(<name> [HEADER_ONLY] [DEPS <layer>...])
+#
+# Defines the static library target rsg_<name> from every .cpp under
+# src/<name>/, with src/ on the public include path so all layers share the
+# `#include "layer/header.hpp"` convention. HEADER_ONLY layers become
+# INTERFACE targets. DEPS name other layers (without the rsg_ prefix) and are
+# linked PUBLIC so transitive usage requirements flow through the DAG.
+function(rsg_add_layer name)
+  cmake_parse_arguments(ARG "HEADER_ONLY" "" "DEPS" ${ARGN})
+  set(target rsg_${name})
+  file(GLOB sources CONFIGURE_DEPENDS "${PROJECT_SOURCE_DIR}/src/${name}/*.cpp")
+
+  if(ARG_HEADER_ONLY OR NOT sources)
+    add_library(${target} INTERFACE)
+    target_include_directories(${target} INTERFACE "${PROJECT_SOURCE_DIR}/src")
+    set(scope INTERFACE)
+  else()
+    add_library(${target} STATIC ${sources})
+    target_include_directories(${target} PUBLIC "${PROJECT_SOURCE_DIR}/src")
+    target_link_libraries(${target} PRIVATE rsg_options)
+    set(scope PUBLIC)
+  endif()
+
+  foreach(dep IN LISTS ARG_DEPS)
+    target_link_libraries(${target} ${scope} rsg_${dep})
+  endforeach()
+endfunction()

@@ -18,9 +18,12 @@
 
 namespace {
 
+const char kUsage[] =
+    "usage: rsg_cli <sample> <design> <params> [-o out.cif] [--svg out.svg]\n"
+    "               [--top name] [--stats]\n";
+
 int usage() {
-  std::cerr << "usage: rsg_cli <sample> <design> <params> [-o out.cif] [--svg out.svg]\n"
-               "               [--top name] [--stats]\n";
+  std::cerr << kUsage;
   return 2;
 }
 
@@ -36,6 +39,12 @@ bool looks_like_cif(const std::string& text) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
+      std::cout << kUsage;
+      return 0;
+    }
+  }
   if (argc < 4) return usage();
   std::string out_cif;
   std::string out_svg;

@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# Builds every benchmark and runs one fast one, emitting BENCH_smoke.json —
+# the artifact CI uploads to start the performance trajectory.
+#
+# Usage: scripts/bench_smoke.sh [build-dir] [output.json]
+set -eu
+
+BUILD_DIR="${1:-build}"
+OUT="${2:-BENCH_smoke.json}"
+
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target rsg_benchmarks
+
+"$BUILD_DIR"/bench/bench_orientations \
+  --benchmark_min_time=0.05s \
+  --benchmark_format=json \
+  --benchmark_out="$OUT" \
+  --benchmark_out_format=json
+
+# Fail loudly on truncated/invalid output rather than uploading junk.
+python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$OUT"
+echo "wrote $OUT"

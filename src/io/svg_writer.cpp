@@ -69,8 +69,8 @@ void write_svg(std::ostream& out, const Cell& root) {
         << layer_color(lb.layer) << "\" fill-opacity=\"0.55\"/>\n";
   }
   for (const FlatLabel& fl : flat.labels) {
-    out << "<text x=\"" << fl.at.x << "\" y=\"" << -fl.at.y << "\" font-size=\"3\">" << fl.label.text
-        << "</text>\n";
+    out << "<text x=\"" << fl.at.x << "\" y=\"" << -fl.at.y << "\" font-size=\"3\">"
+        << fl.label.text << "</text>\n";
   }
   out << "</svg>\n";
 }

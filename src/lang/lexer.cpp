@@ -67,11 +67,15 @@ std::vector<Token> tokenize(const std::string& source) {
       advance();
       std::string text;
       while (i < source.size() && source[i] != '"') {
-        if (source[i] == '\n') throw LangError("unterminated string literal", token.line, token.column);
+        if (source[i] == '\n') {
+          throw LangError("unterminated string literal", token.line, token.column);
+        }
         text.push_back(source[i]);
         advance();
       }
-      if (i >= source.size()) throw LangError("unterminated string literal", token.line, token.column);
+      if (i >= source.size()) {
+        throw LangError("unterminated string literal", token.line, token.column);
+      }
       advance();  // closing quote
       token.text = std::move(text);
     } else if (std::isdigit(static_cast<unsigned char>(c)) ||

@@ -35,6 +35,9 @@ GeneratorResult generate_pla(Generator& generator, const TruthTable& table) {
 }
 
 bool is_foldable(const TruthTable& table) {
+  // Folding pairs output 2c-1 with output 2c; an odd output count leaves an
+  // unpaired column and cannot fold.
+  if (table.num_outputs() % 2 != 0) return false;
   const int split = table.num_terms() / 2;
   for (int o = 0; o < table.num_outputs(); ++o) {
     const bool upper = (o % 2 == 0);  // 0-based: outputs 1,3,5.. are upper
