@@ -1,21 +1,48 @@
 #!/usr/bin/env sh
-# Builds every benchmark and runs one fast one, emitting BENCH_smoke.json —
-# the artifact CI uploads to start the performance trajectory.
+# Builds every benchmark and runs the fast ones, emitting BENCH_smoke.json
+# and BENCH_compact_scaling.json — the artifacts CI uploads to grow the
+# performance trajectory.
 #
-# Usage: scripts/bench_smoke.sh [build-dir] [output.json]
+# Usage: scripts/bench_smoke.sh [build-dir] [smoke.json] [scaling.json]
 set -eu
 
 BUILD_DIR="${1:-build}"
 OUT="${2:-BENCH_smoke.json}"
+SCALING_OUT="${3:-BENCH_compact_scaling.json}"
 
-cmake --build "$BUILD_DIR" -j "$(nproc)" --target rsg_benchmarks
+# Portable core count: nproc is not POSIX (absent on stock macOS).
+if command -v nproc >/dev/null 2>&1; then
+  JOBS="$(nproc)"
+elif JOBS="$(getconf _NPROCESSORS_ONLN 2>/dev/null)" && [ -n "$JOBS" ]; then
+  :
+else
+  JOBS=2
+fi
 
-"$BUILD_DIR"/bench/bench_orientations \
-  --benchmark_min_time=0.05s \
-  --benchmark_format=json \
-  --benchmark_out="$OUT" \
-  --benchmark_out_format=json
+cmake --build "$BUILD_DIR" -j "$JOBS" --target rsg_benchmarks
 
-# Fail loudly on truncated/invalid output rather than uploading junk.
-python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$OUT"
-echo "wrote $OUT"
+# run_bench <binary-name> <output.json> [benchmark-filter]
+run_bench() {
+  bin="$BUILD_DIR/bench/$1"
+  out="$2"
+  filter="${3:-}"
+  if [ ! -x "$bin" ]; then
+    echo "error: benchmark binary '$bin' is missing or not executable" >&2
+    echo "       (configure with -DRSG_BUILD_BENCH=ON and install Google Benchmark)" >&2
+    exit 1
+  fi
+  "$bin" \
+    ${filter:+--benchmark_filter="$filter"} \
+    --benchmark_min_time=0.05s \
+    --benchmark_format=json \
+    --benchmark_out="$out" \
+    --benchmark_out_format=json
+  # Fail loudly on truncated/invalid output rather than uploading junk.
+  python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$out"
+  echo "wrote $out"
+}
+
+run_bench bench_orientations "$OUT"
+# The 1k point of the scaling sweep — fast enough for CI. Run the binary
+# with no filter locally for the full 1k/10k/50k trajectory.
+run_bench bench_compact_scaling "$SCALING_OUT" '/1000$'

@@ -1,6 +1,7 @@
 #include "compact/bellman_ford.hpp"
 
 #include <algorithm>
+#include <deque>
 #include <numeric>
 
 #include "support/error.hpp"
@@ -27,6 +28,35 @@ std::vector<std::size_t> edge_order(const ConstraintSystem& system, EdgeOrder or
 Coord pitch_term(const ConstraintSystem& system, const Constraint& c) {
   if (c.pitch < 0) return 0;
   return c.pitch_coeff * system.pitch_values[static_cast<std::size_t>(c.pitch)];
+}
+
+// CSR adjacency over constraint indices, keyed by one endpoint (the source
+// for the leftmost solver, the sink for the rightmost dual). Constraints
+// whose key is the implicit origin are excluded — they are handled by the
+// seeding sweep and never need revisiting.
+struct Adjacency {
+  std::vector<std::size_t> offsets;  // size n + 1
+  std::vector<std::size_t> edges;    // constraint indices, grouped by key
+};
+
+template <class KeyFn>
+Adjacency build_adjacency(const ConstraintSystem& system, KeyFn key) {
+  Adjacency adj;
+  const std::size_t n = system.variable_count();
+  adj.offsets.assign(n + 1, 0);
+  const std::vector<Constraint>& cs = system.constraints();
+  for (const Constraint& c : cs) {
+    const int k = key(c);
+    if (k >= 0) ++adj.offsets[static_cast<std::size_t>(k) + 1];
+  }
+  for (std::size_t v = 0; v < n; ++v) adj.offsets[v + 1] += adj.offsets[v];
+  adj.edges.resize(adj.offsets[n]);
+  std::vector<std::size_t> cursor(adj.offsets.begin(), adj.offsets.end() - 1);
+  for (std::size_t e = 0; e < cs.size(); ++e) {
+    const int k = key(cs[e]);
+    if (k >= 0) adj.edges[cursor[static_cast<std::size_t>(k)]++] = e;
+  }
+  return adj;
 }
 
 }  // namespace
@@ -90,6 +120,111 @@ SolveStats solve_rightmost(ConstraintSystem& system, Coord width,
     }
   }
   throw Error("compaction constraints are infeasible (positive cycle)");
+}
+
+SolveStats solve_leftmost_worklist(ConstraintSystem& system) {
+  SolveStats stats;
+  const std::size_t n = system.variable_count();
+  std::fill(system.values.begin(), system.values.end(), 0);
+  const Adjacency out = build_adjacency(system, [](const Constraint& c) { return c.from; });
+  const std::vector<Constraint>& cs = system.constraints();
+
+  std::deque<std::size_t> queue;
+  std::vector<char> in_queue(n, 0);
+  // SPFA cycle detection: the k-th enqueue of a variable witnesses a path
+  // of >= k edges; without a positive cycle every longest path is simple,
+  // so more than |V| enqueues means the constraints are infeasible.
+  std::vector<std::size_t> enqueues(n, 0);
+  auto relax = [&](const Constraint& c) {
+    const Coord from = c.from < 0 ? 0 : system.values[static_cast<std::size_t>(c.from)];
+    const Coord bound = from + c.weight - pitch_term(system, c);
+    const auto to = static_cast<std::size_t>(c.to);
+    if (system.values[to] < bound) {
+      system.values[to] = bound;
+      ++stats.relaxations;
+      if (!in_queue[to]) {
+        if (++enqueues[to] > n + 1) {
+          throw Error("compaction constraints are infeasible (positive cycle)");
+        }
+        in_queue[to] = 1;
+        queue.push_back(to);
+      }
+    }
+  };
+
+  // Seeding sweep: every constraint once, sorted by the source's initial
+  // abscissa — §6.4.2's observation makes this nearly converge when the
+  // initial ordering survives, leaving the worklist only the sparse
+  // leftovers. Variables enqueued during the sweep are drained after it.
+  ++stats.passes;
+  for (const std::size_t e : edge_order(system, EdgeOrder::kSorted)) relax(cs[e]);
+
+  while (!queue.empty()) {
+    const std::size_t v = queue.front();
+    queue.pop_front();
+    in_queue[v] = 0;
+    ++stats.pops;
+    for (std::size_t e = out.offsets[v]; e < out.offsets[v + 1]; ++e) {
+      relax(cs[out.edges[e]]);
+    }
+  }
+  stats.converged = true;
+  return stats;
+}
+
+SolveStats solve_rightmost_worklist(ConstraintSystem& system, Coord width,
+                                    std::vector<Coord>& upper_bounds) {
+  SolveStats stats;
+  const std::size_t n = system.variable_count();
+  upper_bounds.assign(n, width);
+  // The dual direction: lowering upper_bounds[c.to] can lower
+  // upper_bounds[c.from], so the adjacency is keyed by the sink.
+  const Adjacency in = build_adjacency(
+      system, [](const Constraint& c) { return c.from < 0 ? -1 : c.to; });
+  const std::vector<Constraint>& cs = system.constraints();
+
+  std::deque<std::size_t> queue;
+  std::vector<char> in_queue(n, 0);
+  std::vector<std::size_t> enqueues(n, 0);
+  auto relax = [&](const Constraint& c) {
+    if (c.from < 0) return;  // anchors bound from below only
+    const Coord bound =
+        upper_bounds[static_cast<std::size_t>(c.to)] - c.weight + pitch_term(system, c);
+    const auto from = static_cast<std::size_t>(c.from);
+    if (upper_bounds[from] > bound) {
+      upper_bounds[from] = bound;
+      ++stats.relaxations;
+      if (!in_queue[from]) {
+        if (++enqueues[from] > n + 1) {
+          throw Error("compaction constraints are infeasible (positive cycle)");
+        }
+        in_queue[from] = 1;
+        queue.push_back(from);
+      }
+    }
+  };
+
+  // The dual seeding order: rightmost sinks first, so right-to-left chains
+  // collapse in the one sweep.
+  ++stats.passes;
+  std::vector<std::size_t> seed(cs.size());
+  std::iota(seed.begin(), seed.end(), 0);
+  std::stable_sort(seed.begin(), seed.end(), [&](std::size_t i, std::size_t j) {
+    return system.initial(cs[i].to) > system.initial(cs[j].to);
+  });
+  for (const std::size_t e : seed) relax(cs[e]);
+
+  while (!queue.empty()) {
+    const std::size_t v = queue.front();
+    queue.pop_front();
+    in_queue[v] = 0;
+    ++stats.pops;
+    for (std::size_t e = in.offsets[v]; e < in.offsets[v + 1]; ++e) {
+      relax(cs[in.edges[e]]);
+    }
+  }
+  stats.converged = true;
+  return stats;
 }
 
 }  // namespace rsg::compact

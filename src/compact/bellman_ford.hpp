@@ -20,6 +20,7 @@ namespace rsg::compact {
 struct SolveStats {
   int passes = 0;                 // full sweeps over the edge list
   std::size_t relaxations = 0;    // individual successful tightenings
+  std::size_t pops = 0;           // worklist solvers: variables dequeued
   bool converged = false;
 };
 
@@ -27,6 +28,13 @@ enum class EdgeOrder {
   kSorted,     // by the source variable's initial abscissa (§6.4.2)
   kInsertion,  // as generated
   kReversed,   // adversarial: worst case for the relaxation count
+};
+
+// Which longest-path solver compact_flat runs.
+enum class SolverKind {
+  kWorklist,   // SPFA-style: one seeding sweep, then only the out-edges of
+               // changed variables are revisited
+  kPassBased,  // full edge-list sweeps until fixpoint (the §6.4.2 baseline)
 };
 
 // Solves into system.values. Throws rsg::Error on infeasible systems
@@ -37,5 +45,16 @@ SolveStats solve_leftmost(ConstraintSystem& system, EdgeOrder order = EdgeOrder:
 // rubber-band pass to compute slack intervals).
 SolveStats solve_rightmost(ConstraintSystem& system, Coord width,
                            std::vector<Coord>& upper_bounds);
+
+// Worklist (SPFA-style) variants: after one seeding sweep in §6.4.2's
+// sorted order (by the source's initial abscissa; descending sink abscissa
+// for the rightmost dual), only the out-edges (in-edges for the dual) of
+// variables whose value changed are revisited, so sparse updates stop
+// touching the whole edge list. The least (greatest) solution is unique,
+// so the values are identical to the pass-based solvers'; infeasible
+// systems throw the same rsg::Error.
+SolveStats solve_leftmost_worklist(ConstraintSystem& system);
+SolveStats solve_rightmost_worklist(ConstraintSystem& system, Coord width,
+                                    std::vector<Coord>& upper_bounds);
 
 }  // namespace rsg::compact

@@ -23,8 +23,11 @@ void ConstraintSystem::add_constraint(Constraint c) {
   if (c.to < 0 || c.to >= n || c.from < -1 || c.from >= n) {
     throw Error("constraint references an unknown variable");
   }
-  if (c.pitch >= static_cast<int>(pitch_initial_.size())) {
+  if (c.pitch < -1 || c.pitch >= static_cast<int>(pitch_initial_.size())) {
     throw Error("constraint references an unknown pitch variable");
+  }
+  if (c.pitch == -1 && c.pitch_coeff != 0) {
+    throw Error("constraint has a pitch coefficient but no pitch variable");
   }
   constraints_.push_back(c);
 }

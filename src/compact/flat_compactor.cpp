@@ -80,8 +80,12 @@ FlatResult compact_flat(const std::vector<LayerBox>& boxes, const CompactionRule
   result.constraint_count = system.constraint_count();
   result.variable_count = system.variable_count();
 
-  result.solve = solve_leftmost(system, options.edge_order);
-  if (options.apply_rubber_band) result.rubber = rubber_band(system);
+  result.solve = options.solver == SolverKind::kWorklist
+                     ? solve_leftmost_worklist(system)
+                     : solve_leftmost(system, options.edge_order);
+  if (options.apply_rubber_band) {
+    result.rubber = rubber_band(system, /*max_iterations=*/64, options.solver);
+  }
 
   result.boxes.reserve(cboxes.size());
   Coord width = 0;

@@ -15,7 +15,8 @@
 namespace rsg::compact {
 
 struct FlatOptions {
-  EdgeOrder edge_order = EdgeOrder::kSorted;
+  SolverKind solver = SolverKind::kWorklist;
+  EdgeOrder edge_order = EdgeOrder::kSorted;  // pass-based solver only
   bool apply_rubber_band = false;
   bool naive_constraints = false;  // the Figure 6.5 overconstraining baseline
   bool mark_all_stretchable = false;

@@ -1,8 +1,9 @@
 #include "compact/rubber_band.hpp"
 
 #include <algorithm>
-#include <numeric>
+#include <limits>
 
+#include "compact/rigid_groups.hpp"
 #include "support/error.hpp"
 
 namespace rsg::compact {
@@ -13,57 +14,6 @@ Coord pitch_term(const ConstraintSystem& system, const Constraint& c) {
   if (c.pitch < 0) return 0;
   return c.pitch_coeff * system.pitch_values[static_cast<std::size_t>(c.pitch)];
 }
-
-// Rigid boxes carry an equality pair (R - L >= w and L - R >= -w), so their
-// edges cannot move one at a time. Union such variables into rigid groups
-// with fixed offsets from a leader; the descent then translates whole
-// groups — boxes — rather than edges.
-class RigidGroups {
- public:
-  explicit RigidGroups(const ConstraintSystem& system)
-      : parent_(system.variable_count()), offset_(system.variable_count(), 0) {
-    std::iota(parent_.begin(), parent_.end(), 0);
-    // Find (u -> v, w) matched by (v -> u, -w): X_v - X_u == w.
-    for (const Constraint& a : system.constraints()) {
-      if (a.from < 0 || a.pitch >= 0) continue;
-      for (const Constraint& b : system.constraints()) {
-        if (b.from != a.to || b.to != a.from || b.pitch >= 0) continue;
-        if (a.weight + b.weight == 0) {
-          unite(static_cast<std::size_t>(a.from), static_cast<std::size_t>(a.to), a.weight);
-        }
-      }
-    }
-  }
-
-  std::size_t leader(std::size_t v) {
-    if (parent_[v] == v) return v;
-    const std::size_t root = leader(parent_[v]);
-    offset_[v] += offset_[parent_[v]];
-    parent_[v] = root;
-    return root;
-  }
-
-  // X_v = X_leader(v) + offset(v).
-  Coord offset(std::size_t v) {
-    leader(v);
-    return offset_[v];
-  }
-
- private:
-  void unite(std::size_t u, std::size_t v, Coord w) {
-    // X_v = X_u + w.
-    const std::size_t ru = leader(u);
-    const std::size_t rv = leader(v);
-    if (ru == rv) return;
-    // offset: X_v = X_rv + offset_[v] and X_u = X_ru + offset_[u].
-    // Attach rv under ru: X_rv = X_u + w - offset_v = X_ru + offset_u + w - offset_v.
-    parent_[rv] = ru;
-    offset_[rv] = offset_[u] + w - offset_[v];
-  }
-
-  std::vector<std::size_t> parent_;
-  std::vector<Coord> offset_;
-};
 
 }  // namespace
 
@@ -79,7 +29,7 @@ std::int64_t total_jog(const ConstraintSystem& system) {
   return jog;
 }
 
-RubberBandStats rubber_band(ConstraintSystem& system, int max_iterations) {
+RubberBandStats rubber_band(ConstraintSystem& system, int max_iterations, SolverKind solver) {
   RubberBandStats stats;
   stats.jog_before = total_jog(system);
   if (system.variable_count() == 0) {
@@ -89,7 +39,11 @@ RubberBandStats rubber_band(ConstraintSystem& system, int max_iterations) {
 
   const Coord width = *std::max_element(system.values.begin(), system.values.end());
   std::vector<Coord> upper;
-  solve_rightmost(system, width, upper);
+  if (solver == SolverKind::kWorklist) {
+    solve_rightmost_worklist(system, width, upper);
+  } else {
+    solve_rightmost(system, width, upper);
+  }
 
   RigidGroups groups(system);
 

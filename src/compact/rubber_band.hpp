@@ -32,6 +32,9 @@ struct RubberBandStats {
 std::int64_t total_jog(const ConstraintSystem& system);
 
 // Improves system.values in place without increasing the layout width.
-RubberBandStats rubber_band(ConstraintSystem& system, int max_iterations = 64);
+// `solver` selects how the slack intervals' upper bounds are computed, so a
+// pass-based compact_flat run stays pass-based end to end.
+RubberBandStats rubber_band(ConstraintSystem& system, int max_iterations = 64,
+                            SolverKind solver = SolverKind::kWorklist);
 
 }  // namespace rsg::compact

@@ -1,8 +1,13 @@
 #include "compact/scanline.hpp"
 
 #include <algorithm>
+#include <limits>
+#include <map>
 #include <numeric>
+#include <queue>
 #include <set>
+#include <utility>
+#include <vector>
 
 #include "support/error.hpp"
 
@@ -14,15 +19,111 @@ Coord y_gap(const Box& a, const Box& b) {
   return std::max<Coord>({a.lo.y - b.hi.y, b.lo.y - a.hi.y, 0});
 }
 
+// Output-sensitive active set for the abutment sweep: a static segment
+// tree over a layer's distinct top edges (hi.y). Each active box sits at
+// its top-edge leaf in a lo.y-sorted multiset, and every internal node
+// carries the minimum lo.y in its subtree, so enumerating the active boxes
+// with hi.y >= y0 and lo.y <= y1 — exactly the closed y-interval overlaps —
+// prunes every subtree that cannot contain a match. Insert, erase and each
+// reported box cost O(log n); a query that reports nothing costs O(log n).
+class ActiveBoxes {
+ public:
+  // `tops` is the sorted, deduplicated list of hi.y values the layer uses.
+  explicit ActiveBoxes(std::vector<Coord> tops) : tops_(std::move(tops)) {
+    entries_.assign(tops_.size(), {});
+    min_lo_.assign(4 * std::max<std::size_t>(tops_.size(), 1), kNone);
+  }
+
+  std::size_t leaf_of(Coord hi_y) const {
+    return static_cast<std::size_t>(
+        std::lower_bound(tops_.begin(), tops_.end(), hi_y) - tops_.begin());
+  }
+
+  void insert(std::size_t leaf, Coord lo_y, std::size_t box) {
+    entries_[leaf].emplace(lo_y, box);
+    update(1, 0, tops_.size(), leaf);
+  }
+
+  void erase(std::size_t leaf, Coord lo_y, std::size_t box) {
+    entries_[leaf].erase(entries_[leaf].find({lo_y, box}));
+    update(1, 0, tops_.size(), leaf);
+  }
+
+  // Calls fn(box) for every active box whose y interval touches [y0, y1].
+  template <class Fn>
+  void for_each_touching(Coord y0, Coord y1, Fn&& fn) const {
+    if (tops_.empty()) return;
+    visit(1, 0, tops_.size(), leaf_of(y0), y1, fn);
+  }
+
+ private:
+  static constexpr Coord kNone = std::numeric_limits<Coord>::max();
+
+  void update(std::size_t node, std::size_t lo, std::size_t hi, std::size_t leaf) {
+    if (hi - lo == 1) {
+      min_lo_[node] = entries_[lo].empty() ? kNone : entries_[lo].begin()->first;
+      return;
+    }
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (leaf < mid) {
+      update(2 * node, lo, mid, leaf);
+    } else {
+      update(2 * node + 1, mid, hi, leaf);
+    }
+    min_lo_[node] = std::min(min_lo_[2 * node], min_lo_[2 * node + 1]);
+  }
+
+  template <class Fn>
+  void visit(std::size_t node, std::size_t lo, std::size_t hi, std::size_t first, Coord y1,
+             Fn& fn) const {
+    if (hi <= first || min_lo_[node] > y1) return;
+    if (hi - lo == 1) {
+      for (const auto& [lo_y, box] : entries_[lo]) {
+        if (lo_y > y1) break;
+        fn(box);
+      }
+      return;
+    }
+    const std::size_t mid = lo + (hi - lo) / 2;
+    visit(2 * node, lo, mid, first, y1, fn);
+    visit(2 * node + 1, mid, hi, first, y1, fn);
+  }
+
+  std::vector<Coord> tops_;
+  std::vector<std::set<std::pair<Coord, std::size_t>>> entries_;  // per leaf: (lo.y, box)
+  std::vector<Coord> min_lo_;
+};
+
 // Union-find over same-layer touching boxes: boxes of one electrical net
 // must not receive spacing constraints against each other (they hold
 // kConnect constraints instead). This is the net knowledge that plain box
 // merging (§6.4.1) would provide but that device/bus tagging forbids.
+//
+// Two builders populate the same structure: a per-layer sort/sweep over the
+// x extents (boxes abut only while their x intervals overlap, so each box
+// only meets the still-active boxes of the sweep, enumerated through the
+// ActiveBoxes tree), and the all-pairs scan kept as the equivalence
+// baseline. Both unite exactly the abutting pairs, so the resulting
+// connectivity is identical.
 class NetFinder {
  public:
-  explicit NetFinder(const std::vector<CompactionBox>& boxes)
+  enum class Strategy { kSweep, kQuadratic };
+
+  explicit NetFinder(const std::vector<CompactionBox>& boxes,
+                     Strategy strategy = Strategy::kSweep)
       : parent_(boxes.size()) {
     std::iota(parent_.begin(), parent_.end(), 0);
+    if (strategy == Strategy::kQuadratic) {
+      build_quadratic(boxes);
+    } else {
+      build_sweep(boxes);
+    }
+  }
+
+  bool same_net(std::size_t a, std::size_t b) { return find(a) == find(b); }
+
+ private:
+  void build_quadratic(const std::vector<CompactionBox>& boxes) {
     for (std::size_t i = 0; i < boxes.size(); ++i) {
       for (std::size_t j = i + 1; j < boxes.size(); ++j) {
         if (boxes[i].geometry.layer != boxes[j].geometry.layer) continue;
@@ -33,9 +134,54 @@ class NetFinder {
     }
   }
 
-  bool same_net(std::size_t a, std::size_t b) { return find(a) == find(b); }
+  void build_sweep(const std::vector<CompactionBox>& boxes) {
+    std::vector<std::vector<std::size_t>> by_layer(kNumLayers);
+    for (std::size_t i = 0; i < boxes.size(); ++i) {
+      by_layer[static_cast<std::size_t>(boxes[i].geometry.layer)].push_back(i);
+    }
+    for (std::vector<std::size_t>& layer : by_layer) {
+      std::sort(layer.begin(), layer.end(), [&](std::size_t i, std::size_t j) {
+        const Box& a = boxes[i].geometry.box;
+        const Box& b = boxes[j].geometry.box;
+        return std::tuple(a.lo.x, a.hi.x, i) < std::tuple(b.lo.x, b.hi.x, j);
+      });
+      // Active boxes (x interval still reaching the sweep line) live in the
+      // segment tree, with a min-heap on the right edge for expiry.
+      std::vector<Coord> tops;
+      tops.reserve(layer.size());
+      for (const std::size_t i : layer) tops.push_back(boxes[i].geometry.box.hi.y);
+      std::sort(tops.begin(), tops.end());
+      tops.erase(std::unique(tops.begin(), tops.end()), tops.end());
+      ActiveBoxes active(std::move(tops));
 
- private:
+      struct Expiry {
+        Coord hi_x;
+        std::size_t leaf;
+        Coord lo_y;
+        std::size_t box;
+      };
+      const auto expires_later = [](const Expiry& a, const Expiry& b) {
+        return a.hi_x > b.hi_x;
+      };
+      std::priority_queue<Expiry, std::vector<Expiry>, decltype(expires_later)> expiry(
+          expires_later);
+      for (const std::size_t ib : layer) {
+        const Box& b = boxes[ib].geometry.box;
+        // The sweep only moves right: once a box ends left of the current
+        // left edge it can never abut a later box.
+        while (!expiry.empty() && expiry.top().hi_x < b.lo.x) {
+          const Expiry& gone = expiry.top();
+          active.erase(gone.leaf, gone.lo_y, gone.box);
+          expiry.pop();
+        }
+        active.for_each_touching(b.lo.y, b.hi.y, [&](std::size_t ia) { unite(ia, ib); });
+        const std::size_t leaf = active.leaf_of(b.hi.y);
+        active.insert(leaf, b.lo.y, ib);
+        expiry.push({b.hi.x, leaf, b.lo.y, ib});
+      }
+    }
+  }
+
   std::size_t find(std::size_t v) {
     while (parent_[v] != v) {
       parent_[v] = parent_[parent_[v]];
@@ -49,8 +195,9 @@ class NetFinder {
 };
 
 // Per-layer visibility profile: disjoint y segments, each remembering the
-// box a left-looking viewer sees there (Figure 6.7).
-class Profile {
+// box a left-looking viewer sees there (Figure 6.7). Linear reference
+// implementation: every query and insert scans the whole segment list.
+class LinearProfile {
  public:
   struct Segment {
     Coord y0;
@@ -58,12 +205,10 @@ class Profile {
     std::size_t box;
   };
 
-  std::vector<std::size_t> query(Coord y0, Coord y1) const {
-    std::vector<std::size_t> seen;
+  void query(Coord y0, Coord y1, std::vector<std::size_t>& seen) const {
     for (const Segment& s : segments_) {
       if (s.y1 > y0 && s.y0 < y1) seen.push_back(s.box);
     }
-    return seen;
   }
 
   // Inserts [y0, y1) -> box. Where the range overlaps an existing segment,
@@ -106,6 +251,89 @@ class Profile {
 
  private:
   std::vector<Segment> segments_;
+};
+
+// The scaled profile: the same disjoint segments, keyed by their start in a
+// std::map so query and insert touch only the O(log n + k) segments that
+// overlap the window instead of the whole list. Produces the identical
+// visible-box set at every y point (the per-point winner rule is the same),
+// so constraint generation is byte-identical to LinearProfile — adjacent
+// same-box segments are merely coalesced more eagerly.
+class OrderedProfile {
+ public:
+  void query(Coord y0, Coord y1, std::vector<std::size_t>& seen) const {
+    if (y0 >= y1 || segments_.empty()) return;
+    auto it = first_overlapping(y0);
+    for (; it != segments_.end() && it->first < y1; ++it) {
+      seen.push_back(it->second.box);
+    }
+  }
+
+  void insert(Coord y0, Coord y1, std::size_t box,
+              const std::vector<CompactionBox>& boxes) {
+    if (y0 >= y1) return;
+    const Coord new_reach = boxes[box].geometry.box.hi.x;
+
+    // Detach the segments overlapping [y0, y1).
+    overlapped_.clear();
+    std::map<Coord, Segment>::const_iterator it = first_overlapping(y0);
+    const auto first = it;
+    while (it != segments_.end() && it->first < y1) {
+      overlapped_.push_back({it->first, it->second.y1, it->second.box});
+      ++it;
+    }
+    segments_.erase(first, it);
+
+    // Rebuild left to right: kept flanks of split segments, the contested
+    // overlaps (further right edge wins, new box on ties), and the gaps in
+    // between (always the new box).
+    rebuilt_.clear();
+    auto emit = [&](Coord a, Coord b, std::size_t bx) {
+      if (a >= b) return;
+      if (!rebuilt_.empty() && rebuilt_.back().box == bx && rebuilt_.back().y1 == a) {
+        rebuilt_.back().y1 = b;
+        return;
+      }
+      rebuilt_.push_back({a, b, bx});
+    };
+    Coord cursor = y0;
+    for (const Piece& s : overlapped_) {
+      if (s.y0 < y0) emit(s.y0, y0, s.box);
+      emit(cursor, std::max(cursor, s.y0), box);
+      const Coord o0 = std::max(s.y0, y0);
+      const Coord o1 = std::min(s.y1, y1);
+      const bool old_wins = boxes[s.box].geometry.box.hi.x > new_reach;
+      emit(o0, o1, old_wins ? s.box : box);
+      if (s.y1 > y1) emit(y1, s.y1, s.box);
+      cursor = o1;
+    }
+    emit(cursor, y1, box);
+    for (const Piece& p : rebuilt_) segments_.emplace(p.y0, Segment{p.y1, p.box});
+  }
+
+ private:
+  struct Segment {
+    Coord y1;
+    std::size_t box;
+  };
+  struct Piece {
+    Coord y0;
+    Coord y1;
+    std::size_t box;
+  };
+
+  std::map<Coord, Segment>::const_iterator first_overlapping(Coord y0) const {
+    auto it = segments_.upper_bound(y0);
+    if (it != segments_.begin()) {
+      const auto prev = std::prev(it);
+      if (prev->second.y1 > y0) return prev;
+    }
+    return it;
+  }
+
+  std::map<Coord, Segment> segments_;
+  std::vector<Piece> overlapped_;  // scratch, reused across inserts
+  std::vector<Piece> rebuilt_;
 };
 
 void add_width_and_anchor(ConstraintSystem& system, const std::vector<CompactionBox>& boxes,
@@ -205,6 +433,49 @@ void emit_pair_constraint(ConstraintSystem& system, const std::vector<Compaction
   }
 }
 
+// The shared sweep driver of Figure 6.7, parameterized over the profile
+// implementation. Visible partners are deduplicated and sorted by box index
+// before emission, so both profiles produce the identical constraint order.
+template <class ProfileT>
+void generate_constraints_impl(ConstraintSystem& system, const std::vector<CompactionBox>& boxes,
+                               const CompactionRules& rules, NetFinder& nets) {
+  add_width_and_anchor(system, boxes, rules);
+
+  // Sweep order: left edge, then right edge (stable for determinism).
+  std::vector<std::size_t> order(boxes.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t i, std::size_t j) {
+    const Box& a = boxes[i].geometry.box;
+    const Box& b = boxes[j].geometry.box;
+    return std::tuple(a.lo.x, a.hi.x) < std::tuple(b.lo.x, b.hi.x);
+  });
+
+  std::vector<ProfileT> profiles(kNumLayers);
+  std::vector<std::size_t> seen;
+  for (const std::size_t ib : order) {
+    const CompactionBox& b = boxes[ib];
+    const Layer lb = b.geometry.layer;
+    seen.clear();
+    for (int li = 0; li < kNumLayers; ++li) {
+      const Layer la = static_cast<Layer>(li);
+      const bool same = (la == lb);
+      if (!same && !rules.interacts(la, lb)) continue;
+      // Shadow margin: boxes within spacing distance in y still constrain.
+      const Coord margin = same ? std::max<Coord>(rules.spacing(la, lb), 1)
+                                : rules.spacing(la, lb);
+      profiles[static_cast<std::size_t>(li)].query(b.geometry.box.lo.y - margin,
+                                                   b.geometry.box.hi.y + margin, seen);
+    }
+    std::sort(seen.begin(), seen.end());
+    seen.erase(std::unique(seen.begin(), seen.end()), seen.end());
+    for (const std::size_t ia : seen) {
+      if (ia != ib) emit_pair_constraint(system, boxes, ia, ib, rules, nets);
+    }
+    profiles[static_cast<std::size_t>(lb)].insert(b.geometry.box.lo.y, b.geometry.box.hi.y, ib,
+                                                  boxes);
+  }
+}
+
 }  // namespace
 
 void add_box_variables(ConstraintSystem& system, std::vector<CompactionBox>& boxes) {
@@ -222,40 +493,15 @@ void add_box_variables(ConstraintSystem& system, std::vector<CompactionBox>& box
 
 void generate_constraints(ConstraintSystem& system, const std::vector<CompactionBox>& boxes,
                           const CompactionRules& rules) {
-  add_width_and_anchor(system, boxes, rules);
-  NetFinder nets(boxes);
+  NetFinder nets(boxes, NetFinder::Strategy::kSweep);
+  generate_constraints_impl<OrderedProfile>(system, boxes, rules, nets);
+}
 
-  // Sweep order: left edge, then right edge (stable for determinism).
-  std::vector<std::size_t> order(boxes.size());
-  std::iota(order.begin(), order.end(), 0);
-  std::stable_sort(order.begin(), order.end(), [&](std::size_t i, std::size_t j) {
-    const Box& a = boxes[i].geometry.box;
-    const Box& b = boxes[j].geometry.box;
-    return std::tuple(a.lo.x, a.hi.x) < std::tuple(b.lo.x, b.hi.x);
-  });
-
-  std::vector<Profile> profiles(kNumLayers);
-  for (const std::size_t ib : order) {
-    const CompactionBox& b = boxes[ib];
-    const Layer lb = b.geometry.layer;
-    std::set<std::size_t> seen;
-    for (int li = 0; li < kNumLayers; ++li) {
-      const Layer la = static_cast<Layer>(li);
-      const bool same = (la == lb);
-      if (!same && !rules.interacts(la, lb)) continue;
-      // Shadow margin: boxes within spacing distance in y still constrain.
-      const Coord margin = same ? std::max<Coord>(rules.spacing(la, lb), 1)
-                                : rules.spacing(la, lb);
-      for (const std::size_t ia :
-           profiles[static_cast<std::size_t>(li)].query(b.geometry.box.lo.y - margin,
-                                                        b.geometry.box.hi.y + margin)) {
-        if (ia != ib) seen.insert(ia);
-      }
-    }
-    for (const std::size_t ia : seen) emit_pair_constraint(system, boxes, ia, ib, rules, nets);
-    profiles[static_cast<std::size_t>(lb)].insert(b.geometry.box.lo.y, b.geometry.box.hi.y, ib,
-                                                  boxes);
-  }
+void generate_constraints_reference(ConstraintSystem& system,
+                                    const std::vector<CompactionBox>& boxes,
+                                    const CompactionRules& rules) {
+  NetFinder nets(boxes, NetFinder::Strategy::kQuadratic);
+  generate_constraints_impl<LinearProfile>(system, boxes, rules, nets);
 }
 
 void generate_constraints_naive(ConstraintSystem& system,

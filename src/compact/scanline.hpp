@@ -40,9 +40,21 @@ struct CompactionBox {
 // leaf compaction shares variables between instance copies).
 void add_box_variables(ConstraintSystem& system, std::vector<CompactionBox>& boxes);
 
-// The visibility scan-line generator of Figure 6.7.
+// The visibility scan-line generator of Figure 6.7. Scaled implementation:
+// net discovery is a per-layer sort/sweep abutment pass over a min-lo.y
+// augmented segment tree and the visibility profile is an ordered segment
+// map, so generation is O((n + a + k) log n) in the box count n, abutting
+// pair count a, and emitted-constraint count k.
 void generate_constraints(ConstraintSystem& system, const std::vector<CompactionBox>& boxes,
                           const CompactionRules& rules);
+
+// The pre-scaling reference: all-pairs net discovery (O(n^2)) and a
+// linear-scan profile (O(n) per query/insert). Kept selectable so the
+// equivalence property tests and the scaling benchmark can prove the fast
+// path emits the byte-identical constraint system.
+void generate_constraints_reference(ConstraintSystem& system,
+                                    const std::vector<CompactionBox>& boxes,
+                                    const CompactionRules& rules);
 
 // The naive generator: every same-layer / interacting pair with y overlap
 // gets a spacing constraint, hidden or not — the §6.4.1 mistake that

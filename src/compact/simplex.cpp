@@ -146,6 +146,27 @@ class Tableau {
     }
   }
 
+  // Zeroes every expelled artificial column: a zero column with zero cost
+  // always prices at exactly zero, so phase 2 can never pivot an artificial
+  // back in — unlike a big-M cost, which a real variable with a larger
+  // objective magnitude can swamp. An artificial still basic after
+  // expel_artificials() sits in a redundant all-zero row at value 0; its
+  // unit column is kept so the basis stays consistent, and that row can
+  // never win the ratio test.
+  void drop_artificials() {
+    for (int j = num_structural_ + num_slack_; j < cols_ - 1; ++j) {
+      bool basic = false;
+      for (const int b : basis_) {
+        if (b == j) {
+          basic = true;
+          break;
+        }
+      }
+      if (basic) continue;
+      for (auto& row : rows_) row[static_cast<std::size_t>(j)] = 0.0;
+    }
+  }
+
  private:
   void pivot(std::size_t row, int col) {
     auto& pivot_row = rows_[row];
@@ -198,18 +219,14 @@ LpSolution solve_lp(const LpProblem& problem) {
       return solution;
     }
     tableau.expel_artificials();
+    tableau.drop_artificials();
   }
 
-  // Phase 2: the real objective (artificial columns priced at zero; they
-  // are out of the basis and stay out because their reduced costs are
-  // irrelevant once expelled).
+  // Phase 2: the real objective. The artificial columns were zeroed above
+  // and cost zero here, so they can never re-enter the basis.
   std::vector<double> phase2(static_cast<std::size_t>(tableau.cols() - 1), 0.0);
   for (int j = 0; j < problem.num_vars; ++j) {
     phase2[static_cast<std::size_t>(j)] = problem.objective[static_cast<std::size_t>(j)];
-  }
-  // Forbid artificial re-entry with a prohibitive cost.
-  for (int j = tableau.num_structural() + tableau.num_slack(); j < tableau.cols() - 1; ++j) {
-    phase2[static_cast<std::size_t>(j)] = 1e12;
   }
   if (!tableau.minimize(phase2)) {
     solution.feasible = true;

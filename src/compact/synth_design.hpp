@@ -1,0 +1,43 @@
+// Synthetic compaction workloads for the scaling benchmarks and the
+// equivalence property tests.
+//
+// The thesis's showcase designs (RAM, PLA, multiplier) are regular tilings
+// of small multi-layer cells; these generators reproduce that shape
+// parametrically so the compaction hot path can be driven from hundreds to
+// tens of thousands of boxes. Every field is feasible by construction: no
+// rigid box spans two tiles, so the solvers can always satisfy cross-tile
+// spacing by pushing whole columns apart.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/box.hpp"
+
+namespace rsg::compact {
+
+struct SynthField {
+  std::vector<LayerBox> boxes;
+  std::vector<bool> stretchable;  // parallel to boxes
+};
+
+// RAM-style tiling: rows x cols cells, each a small diffusion/poly/metal
+// motif (a transistor, a bit-line fragment and a word-line strip) with
+// deliberate slack so compaction has work to do.
+SynthField make_grid_field(int rows, int cols);
+
+// A grid field holding approximately `boxes` boxes (the benchmark's size
+// knob): the tiling is squared off from the per-cell box count.
+SynthField make_grid_field_of_size(int boxes);
+
+// PLA-style planes: vertical poly columns crossing horizontal diffusion
+// term rows, with metal output stripes — long thin boxes, the shape that
+// stresses the visibility profile hardest.
+SynthField make_pla_field(int inputs, int terms);
+
+// Seeded random tile field for property testing: every tile draws one of
+// several motifs (single box, fragmented bus, transistor, overlapping
+// same-net metal) with jittered geometry and a seeded stretchable mask.
+SynthField make_random_field(std::uint32_t seed, int tiles);
+
+}  // namespace rsg::compact

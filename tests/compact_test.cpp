@@ -60,6 +60,33 @@ TEST(BellmanFord, PitchTermsShiftBounds) {
   EXPECT_EQ(system.values[static_cast<std::size_t>(b)], 15);
 }
 
+TEST(ConstraintSystem, RejectsPitchIndexBelowMinusOne) {
+  // Regression: pitch -2 used to be accepted and silently treated as "no
+  // pitch" by every consumer while pitch_coeff was ignored.
+  ConstraintSystem system;
+  const int a = system.add_variable("a", 0);
+  const int b = system.add_variable("b", 0);
+  Constraint c;
+  c.from = a;
+  c.to = b;
+  c.weight = 1;
+  c.pitch = -2;
+  EXPECT_THROW(system.add_constraint(c), Error);
+}
+
+TEST(ConstraintSystem, RejectsPitchCoeffWithoutPitchVariable) {
+  ConstraintSystem system;
+  const int a = system.add_variable("a", 0);
+  const int b = system.add_variable("b", 0);
+  Constraint c;
+  c.from = a;
+  c.to = b;
+  c.weight = 1;
+  c.pitch = -1;
+  c.pitch_coeff = 1;
+  EXPECT_THROW(system.add_constraint(c), Error);
+}
+
 TEST(FlatCompactor, PacksASparseRow) {
   std::vector<LayerBox> boxes = {
       {Layer::kMetal1, Box(0, 0, 10, 4)},

@@ -118,6 +118,28 @@ TEST(Simplex, ObjectiveSizeValidated) {
   EXPECT_THROW(solve_lp(p), Error);
 }
 
+TEST(Simplex, ArtificialsCannotReenterInPhase2) {
+  // Regression: phase 2 used to block artificial re-entry with a 1e12
+  // big-M cost, which a real variable with a larger objective magnitude
+  // swamps. Here y's -2e12 coefficient made the expelled artificial price
+  // negative again; it re-entered the basis and the "solution" was x = 0,
+  // violating x >= 5. With the artificial columns zeroed out instead, the
+  // true optimum x = 5, y = 5 comes back.
+  LpProblem p;
+  p.num_vars = 2;
+  p.objective = {0.0, -2e12};
+  p.constraints = {
+      {{{0, -1.0}}, -5.0},  // x >= 5: phase 1 introduces an artificial
+      {{{0, 1.0}, {1, 1.0}}, 10.0},
+  };
+  const LpSolution s = solve_lp(p);
+  ASSERT_TRUE(s.feasible);
+  ASSERT_TRUE(s.bounded);
+  EXPECT_NEAR(s.x[0], 5.0, 1e-6);
+  EXPECT_NEAR(s.x[1], 5.0, 1e-6);
+  EXPECT_NEAR(s.objective, -1e13, 1.0);
+}
+
 TEST(Simplex, DegenerateTiesDoNotCycle) {
   // A degenerate system with many ties — Bland's rule must terminate.
   LpProblem p;
