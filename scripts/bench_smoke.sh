@@ -1,14 +1,15 @@
 #!/usr/bin/env sh
-# Builds every benchmark and runs the fast ones, emitting BENCH_smoke.json
-# and BENCH_compact_scaling.json — the artifacts CI uploads to grow the
-# performance trajectory.
+# Builds every benchmark and runs the fast ones, emitting BENCH_smoke.json,
+# BENCH_compact_scaling.json and BENCH_leaf_scaling.json — the artifacts CI
+# uploads to grow the performance trajectory.
 #
-# Usage: scripts/bench_smoke.sh [build-dir] [smoke.json] [scaling.json]
+# Usage: scripts/bench_smoke.sh [build-dir] [smoke.json] [scaling.json] [leaf.json]
 set -eu
 
 BUILD_DIR="${1:-build}"
 OUT="${2:-BENCH_smoke.json}"
 SCALING_OUT="${3:-BENCH_compact_scaling.json}"
+LEAF_OUT="${4:-BENCH_leaf_scaling.json}"
 
 # Portable core count: nproc is not POSIX (absent on stock macOS).
 if command -v nproc >/dev/null 2>&1; then
@@ -43,6 +44,21 @@ run_bench() {
 }
 
 run_bench bench_orientations "$OUT"
-# The 1k point of the scaling sweep — fast enough for CI. Run the binary
-# with no filter locally for the full 1k/10k/50k trajectory.
-run_bench bench_compact_scaling "$SCALING_OUT" '/1000$'
+# The 1k and 10k points of the scaling sweep — fast enough for CI (the
+# naive 10k configuration is ~1/3 s per repetition). Run the binary with no
+# filter locally for the full 1k/10k/50k trajectory.
+run_bench bench_compact_scaling "$SCALING_OUT" '/(1000|10000)$'
+# The dense-vs-sparse LP sweep at the CI-sized library counts; the full
+# 2..32-cell trajectory (with the >= 10x headline at 32) needs a local run.
+run_bench bench_leaf_scaling "$LEAF_OUT" '/(2|4|8)$'
+
+# Every artifact CI uploads must exist and be non-empty — a silently
+# skipped benchmark must fail the job, not upload a hole in the trajectory.
+status=0
+for artifact in "$OUT" "$SCALING_OUT" "$LEAF_OUT"; do
+  if [ ! -s "$artifact" ]; then
+    echo "error: expected benchmark artifact '$artifact' was not produced" >&2
+    status=1
+  fi
+done
+exit "$status"

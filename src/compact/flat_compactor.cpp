@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "compact/xy_schedule.hpp"
 #include "support/error.hpp"
 
 namespace rsg::compact {
@@ -28,14 +29,16 @@ FlatResult compact_flat_y(const std::vector<LayerBox>& boxes, const CompactionRu
 
 XyResult compact_flat_xy(const std::vector<LayerBox>& boxes, const CompactionRules& rules,
                          const FlatOptions& options, const std::vector<bool>& stretchable) {
-  const FlatResult x_pass = compact_flat(boxes, rules, options, stretchable);
-  const FlatResult y_pass = compact_flat_y(x_pass.boxes, rules, options, stretchable);
+  XyScheduleOptions one_round;
+  one_round.max_rounds = 1;
+  const XyScheduleResult full =
+      compact_flat_schedule(boxes, rules, options, one_round, stretchable);
   XyResult result;
-  result.boxes = y_pass.boxes;
-  result.width_before = x_pass.width_before;
-  result.width_after = x_pass.width_after;
-  result.height_before = y_pass.width_before;
-  result.height_after = y_pass.width_after;
+  result.boxes = full.boxes;
+  result.width_before = full.width_before;
+  result.width_after = full.width_after;
+  result.height_before = full.height_before;
+  result.height_after = full.height_after;
   return result;
 }
 
@@ -70,13 +73,13 @@ FlatResult compact_flat(const std::vector<LayerBox>& boxes, const CompactionRule
     cboxes.push_back(cb);
   }
 
-  ConstraintSystem system;
-  add_box_variables(system, cboxes);
-  if (options.naive_constraints) {
-    generate_constraints_naive(system, cboxes, rules);
-  } else {
-    generate_constraints(system, cboxes, rules);
-  }
+  BuilderOptions builder_options;
+  builder_options.generator = options.naive_constraints ? ConstraintGenerator::kNaive
+                                                        : ConstraintGenerator::kScanline;
+  builder_options.threads = options.generation_threads;
+  ConstraintSystemBuilder builder(rules, builder_options);
+  builder.emit_batch(cboxes);
+  ConstraintSystem& system = builder.system();
   result.constraint_count = system.constraint_count();
   result.variable_count = system.variable_count();
 

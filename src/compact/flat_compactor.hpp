@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "compact/bellman_ford.hpp"
+#include "compact/constraint_builder.hpp"
 #include "compact/design_rule_table.hpp"
 #include "compact/rubber_band.hpp"
 #include "compact/scanline.hpp"
@@ -20,6 +21,9 @@ struct FlatOptions {
   bool apply_rubber_band = false;
   bool naive_constraints = false;  // the Figure 6.5 overconstraining baseline
   bool mark_all_stretchable = false;
+  // Constraint-generation threads (see BuilderOptions::threads): 0 = one
+  // per hardware core, 1 = serial. Byte-identical either way.
+  int generation_threads = 0;
 };
 
 struct FlatResult {
@@ -55,7 +59,9 @@ struct XyResult {
   Coord height_after = 0;
 };
 
-// One x pass followed by one y pass.
+// One x pass followed by one y pass — a single round of the alternating
+// schedule in compact/xy_schedule.hpp, which also handles convergence-
+// driven multi-round alternation.
 XyResult compact_flat_xy(const std::vector<LayerBox>& boxes, const CompactionRules& rules,
                          const FlatOptions& options = {},
                          const std::vector<bool>& stretchable = {});

@@ -3,8 +3,6 @@
 #include <algorithm>
 #include <cmath>
 
-#include "compact/scanline.hpp"
-#include "compact/simplex.hpp"
 #include "layout/flatten.hpp"
 #include "support/error.hpp"
 
@@ -12,33 +10,47 @@ namespace rsg::compact {
 
 namespace {
 
-struct CellVars {
-  std::vector<LayerBox> boxes;     // local geometry
-  std::vector<int> left_vars;      // per box
-  std::vector<int> right_vars;
-  std::vector<bool> stretchable;
-};
-
 bool layer_in(const std::vector<Layer>& layers, Layer layer) {
   return std::find(layers.begin(), layers.end(), layer) != layers.end();
 }
 
+struct BatchVars {
+  std::vector<bool> stretchable;  // per box
+};
+
+std::vector<CompactionBox> cell_batch(const LeafCellVars& cv,
+                                      const std::vector<bool>& stretchable) {
+  std::vector<CompactionBox> batch;
+  batch.reserve(cv.boxes.size());
+  for (std::size_t b = 0; b < cv.boxes.size(); ++b) {
+    CompactionBox cb;
+    cb.geometry = cv.boxes[b];
+    cb.left_var = cv.left_vars[b];
+    cb.right_var = cv.right_vars[b];
+    cb.stretchable = stretchable[b];
+    batch.push_back(cb);
+  }
+  return batch;
+}
+
 }  // namespace
 
-LeafResult compact_leaf_cells(const CellTable& cells, const InterfaceTable& interfaces,
-                              const std::vector<std::string>& cell_names,
-                              const std::vector<PitchSpec>& pitch_specs,
-                              const CompactionRules& rules, double width_weight,
-                              const std::vector<Layer>& stretchable_layers) {
-  ConstraintSystem system;
-  std::map<std::string, CellVars> vars;
+LeafLpModel build_leaf_lp(const CellTable& cells, const InterfaceTable& interfaces,
+                          const std::vector<std::string>& cell_names,
+                          const std::vector<PitchSpec>& pitch_specs, const CompactionRules& rules,
+                          double width_weight, const std::vector<Layer>& stretchable_layers) {
+  LeafLpModel model;
+  ConstraintSystemBuilder builder(rules);
+  ConstraintSystem& system = builder.system();
+  std::map<std::string, BatchVars> batch_vars;
 
   // One shared set of edge variables per CELL — the folding that forces
   // "all instances of a cell A in the final layout [to] have exactly the
   // same geometry" (§6.1).
   for (const std::string& name : cell_names) {
     const Cell& cell = cells.get(name);
-    CellVars cv;
+    LeafCellVars cv;
+    BatchVars bv;
     cv.boxes = flatten_boxes(cell);
     if (cv.boxes.empty()) throw Error("leaf compaction: cell '" + name + "' has no geometry");
     for (std::size_t b = 0; b < cv.boxes.size(); ++b) {
@@ -47,40 +59,26 @@ LeafResult compact_leaf_cells(const CellTable& cells, const InterfaceTable& inte
         throw Error("leaf compaction: cell '" + name +
                     "' has boxes at negative local x; shift the cell first");
       }
-      cv.left_vars.push_back(
-          system.add_variable(name + ".L" + std::to_string(b), box.lo.x));
-      cv.right_vars.push_back(
-          system.add_variable(name + ".R" + std::to_string(b), box.hi.x));
-      cv.stretchable.push_back(layer_in(stretchable_layers, cv.boxes[b].layer));
+      cv.left_vars.push_back(system.add_variable(name + ".L" + std::to_string(b), box.lo.x));
+      cv.right_vars.push_back(system.add_variable(name + ".R" + std::to_string(b), box.hi.x));
+      bv.stretchable.push_back(layer_in(stretchable_layers, cv.boxes[b].layer));
     }
-    vars.emplace(name, std::move(cv));
+    model.cells.emplace(name, std::move(cv));
+    batch_vars.emplace(name, std::move(bv));
   }
-
-  LeafResult result;
 
   // Intra-cell constraints (Fig 6.3's solid edges).
   for (const std::string& name : cell_names) {
-    const CellVars& cv = vars.at(name);
-    std::vector<CompactionBox> cboxes;
-    for (std::size_t b = 0; b < cv.boxes.size(); ++b) {
-      CompactionBox cb;
-      cb.geometry = cv.boxes[b];
-      cb.left_var = cv.left_vars[b];
-      cb.right_var = cv.right_vars[b];
-      cb.stretchable = cv.stretchable[b];
-      cboxes.push_back(cb);
-    }
-    generate_constraints(system, cboxes, rules);
+    std::vector<CompactionBox> batch =
+        cell_batch(model.cells.at(name), batch_vars.at(name).stretchable);
+    builder.emit_batch(batch);
   }
 
   // Pitch variables + inter-cell constraints from each interface's pair
   // layout (Fig 6.3's arc edges, folded through λ).
-  std::size_t unfolded = 0;
-  std::vector<int> pitch_ids;
   for (std::size_t s = 0; s < pitch_specs.size(); ++s) {
     const PitchSpec& spec = pitch_specs[s];
-    const Interface iface =
-        interfaces.get(spec.cell_a, spec.cell_b, spec.interface_index);
+    const Interface iface = interfaces.get(spec.cell_a, spec.cell_b, spec.interface_index);
     if (!(iface.orientation == Orientation::kNorth)) {
       throw Error("leaf compaction handles North-oriented interfaces only (1-D model)");
     }
@@ -88,74 +86,52 @@ LeafResult compact_leaf_cells(const CellTable& cells, const InterfaceTable& inte
       throw Error("leaf compaction requires a positive x pitch between '" + spec.cell_a +
                   "' and '" + spec.cell_b + "'");
     }
-    const int pitch = system.add_pitch(
-        "lambda." + spec.cell_a + "." + spec.cell_b + "#" +
-            std::to_string(spec.interface_index),
-        iface.vector.x);
-    pitch_ids.push_back(pitch);
-    result.original_pitches.push_back(iface.vector.x);
-    result.pitch_y.push_back(iface.vector.y);
+    const int pitch = system.add_pitch("lambda." + spec.cell_a + "." + spec.cell_b + "#" +
+                                           std::to_string(spec.interface_index),
+                                       iface.vector.x);
+    model.pitch_ids.push_back(pitch);
+    model.original_pitches.push_back(iface.vector.x);
+    model.pitch_y.push_back(iface.vector.y);
 
-    const CellVars& cva = vars.at(spec.cell_a);
-    const CellVars& cvb = vars.at(spec.cell_b);
-    unfolded += 2 * (cva.boxes.size() + cvb.boxes.size());
+    const LeafCellVars& cva = model.cells.at(spec.cell_a);
+    const LeafCellVars& cvb = model.cells.at(spec.cell_b);
+    model.unfolded_variable_count += 2 * (cva.boxes.size() + cvb.boxes.size());
 
     // Pair layout: A at the origin (coeff 0), B at (λ, V.y) (coeff 1).
     // Instance copies SHARE the cell variables; the scan line then emits
     // inter-cell constraints already folded through λ.
-    std::vector<CompactionBox> pair;
-    for (std::size_t b = 0; b < cva.boxes.size(); ++b) {
-      CompactionBox cb;
-      cb.geometry = cva.boxes[b];
-      cb.left_var = cva.left_vars[b];
-      cb.right_var = cva.right_vars[b];
-      cb.stretchable = cva.stretchable[b];
-      pair.push_back(cb);
-    }
+    std::vector<CompactionBox> pair =
+        cell_batch(cva, batch_vars.at(spec.cell_a).stretchable);
     for (std::size_t b = 0; b < cvb.boxes.size(); ++b) {
       CompactionBox cb;
       cb.geometry = cvb.boxes[b];
       cb.geometry.box = cb.geometry.box.translated({iface.vector.x, iface.vector.y});
       cb.left_var = cvb.left_vars[b];
       cb.right_var = cvb.right_vars[b];
-      cb.stretchable = cvb.stretchable[b];
+      cb.stretchable = batch_vars.at(spec.cell_b).stretchable[b];
       cb.pitch = pitch;
       cb.pitch_coeff = 1;
       pair.push_back(cb);
     }
-    generate_constraints(system, pair, rules);
+    builder.emit_batch(pair);
   }
-
-  result.variable_count = system.variable_count() + system.pitch_count();
-  result.unfolded_variable_count = unfolded;
-  result.constraint_count = system.constraint_count();
 
   // LP: minimize Σ weight_s λ_s + width_weight Σ (R - L), subject to the
   // constraint system rewritten as  X_from - X_to - k λ <= -w  with all
   // variables >= 0.
-  LpProblem lp;
-  const int num_edges = static_cast<int>(system.variable_count());
-  lp.num_vars = num_edges + static_cast<int>(system.pitch_count());
-  lp.objective.assign(static_cast<std::size_t>(lp.num_vars), 0.0);
+  model.lp = builder.to_lp();
   for (const std::string& name : cell_names) {
-    const CellVars& cv = vars.at(name);
+    const LeafCellVars& cv = model.cells.at(name);
     for (std::size_t b = 0; b < cv.boxes.size(); ++b) {
-      lp.objective[static_cast<std::size_t>(cv.right_vars[b])] += width_weight;
-      lp.objective[static_cast<std::size_t>(cv.left_vars[b])] -= width_weight;
+      model.lp.objective[static_cast<std::size_t>(builder.edge_column(cv.right_vars[b]))] +=
+          width_weight;
+      model.lp.objective[static_cast<std::size_t>(builder.edge_column(cv.left_vars[b]))] -=
+          width_weight;
     }
   }
   for (std::size_t s = 0; s < pitch_specs.size(); ++s) {
-    lp.objective[static_cast<std::size_t>(num_edges + pitch_ids[s])] +=
+    model.lp.objective[static_cast<std::size_t>(builder.pitch_column(model.pitch_ids[s]))] +=
         pitch_specs[s].replication_weight;
-  }
-  for (const Constraint& c : system.constraints()) {
-    LpConstraint row;
-    if (c.from >= 0) row.terms.emplace_back(c.from, 1.0);
-    row.terms.emplace_back(c.to, -1.0);
-    if (c.pitch >= 0) row.terms.emplace_back(num_edges + c.pitch, -c.pitch_coeff);
-    row.rhs = -static_cast<double>(c.weight);
-    if (c.from < 0 && c.weight <= 0) continue;  // X >= 0 is implicit in the LP
-    lp.constraints.push_back(std::move(row));
   }
 
   // Gauge fixing: pin each cell's originally-leftmost edge to x = 0. A
@@ -165,7 +141,7 @@ LeafResult compact_leaf_cells(const CellTable& cells, const InterfaceTable& inte
   // leftmost box keeps origin-to-content offsets honest; the combination
   // with the implicit X >= 0 makes it an equality.
   for (const std::string& name : cell_names) {
-    const CellVars& cv = vars.at(name);
+    const LeafCellVars& cv = model.cells.at(name);
     std::size_t leftmost = 0;
     for (std::size_t b = 1; b < cv.boxes.size(); ++b) {
       if (cv.boxes[b].box.lo.x < cv.boxes[leftmost].box.lo.x) leftmost = b;
@@ -173,10 +149,22 @@ LeafResult compact_leaf_cells(const CellTable& cells, const InterfaceTable& inte
     LpConstraint pin;
     pin.terms.emplace_back(cv.left_vars[leftmost], 1.0);
     pin.rhs = 0.0;
-    lp.constraints.push_back(std::move(pin));
+    model.lp.constraints.push_back(std::move(pin));
   }
+  model.system = std::move(builder.system());
+  return model;
+}
 
-  const LpSolution solution = solve_lp(lp);
+LeafResult solve_leaf_model(const LeafLpModel& model, LpMethod lp_method) {
+  LeafResult result;
+  result.original_pitches = model.original_pitches;
+  result.pitch_y = model.pitch_y;
+  result.variable_count = model.system.variable_count() + model.system.pitch_count();
+  result.unfolded_variable_count = model.unfolded_variable_count;
+  result.constraint_count = model.system.constraint_count();
+
+  const LpSolution solution = solve_lp(model.lp, lp_method);
+  result.lp_stats = solution.stats;
   if (!solution.feasible) throw Error("leaf compaction: constraint system infeasible");
   if (!solution.bounded) throw Error("leaf compaction: objective unbounded (missing anchors)");
   result.objective = solution.objective;
@@ -184,12 +172,13 @@ LeafResult compact_leaf_cells(const CellTable& cells, const InterfaceTable& inte
   // Round and verify. Edge positions round to nearest; a failed
   // verification relaxes the pitches upward (always feasible for spacing-
   // style systems) before giving up.
-  for (std::size_t v = 0; v < system.variable_count(); ++v) {
+  ConstraintSystem system = model.system;
+  const std::size_t num_edges = system.variable_count();
+  for (std::size_t v = 0; v < num_edges; ++v) {
     system.values[v] = static_cast<Coord>(std::llround(solution.x[v]));
   }
   for (std::size_t p = 0; p < system.pitch_count(); ++p) {
-    system.pitch_values[p] = static_cast<Coord>(
-        std::llround(solution.x[static_cast<std::size_t>(num_edges) + p]));
+    system.pitch_values[p] = static_cast<Coord>(std::llround(solution.x[num_edges + p]));
   }
   for (int attempt = 0; attempt < 4 && !system.satisfied(); ++attempt) {
     for (Coord& pitch : system.pitch_values) ++pitch;
@@ -198,21 +187,30 @@ LeafResult compact_leaf_cells(const CellTable& cells, const InterfaceTable& inte
     throw Error("leaf compaction: rounding produced an infeasible layout");
   }
 
-  for (const std::string& name : cell_names) {
-    const CellVars& cv = vars.at(name);
+  for (const auto& [name, cv] : model.cells) {
     std::vector<LayerBox> out;
     for (std::size_t b = 0; b < cv.boxes.size(); ++b) {
       const Coord left = system.values[static_cast<std::size_t>(cv.left_vars[b])];
       const Coord right = system.values[static_cast<std::size_t>(cv.right_vars[b])];
-      out.push_back({cv.boxes[b].layer,
-                     Box(left, cv.boxes[b].box.lo.y, right, cv.boxes[b].box.hi.y)});
+      out.push_back(
+          {cv.boxes[b].layer, Box(left, cv.boxes[b].box.lo.y, right, cv.boxes[b].box.hi.y)});
     }
     result.cells.emplace(name, std::move(out));
   }
-  for (std::size_t s = 0; s < pitch_specs.size(); ++s) {
-    result.pitches.push_back(system.pitch_values[static_cast<std::size_t>(pitch_ids[s])]);
+  for (const int pitch_id : model.pitch_ids) {
+    result.pitches.push_back(system.pitch_values[static_cast<std::size_t>(pitch_id)]);
   }
   return result;
+}
+
+LeafResult compact_leaf_cells(const CellTable& cells, const InterfaceTable& interfaces,
+                              const std::vector<std::string>& cell_names,
+                              const std::vector<PitchSpec>& pitch_specs,
+                              const CompactionRules& rules, double width_weight,
+                              const std::vector<Layer>& stretchable_layers, LpMethod lp_method) {
+  return solve_leaf_model(build_leaf_lp(cells, interfaces, cell_names, pitch_specs, rules,
+                                        width_weight, stretchable_layers),
+                          lp_method);
 }
 
 void make_compacted_library(const LeafResult& result, const std::vector<PitchSpec>& pitch_specs,

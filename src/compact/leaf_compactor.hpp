@@ -13,6 +13,13 @@
 // linear program (§6.3) with a user cost function over the pitches —
 // weighted by expected replication factors, not by cell sizes (§6.2).
 //
+// The pipeline is split so the LP scaling benchmark and the dense/sparse
+// equivalence tests can hold the model fixed while swapping the solver:
+// build_leaf_lp() assembles the shared constraint system (through
+// ConstraintSystemBuilder) and its LP view; solve_leaf_model() runs the
+// selected simplex engine, rounds, verifies, and rebuilds the geometry;
+// compact_leaf_cells() is the two chained.
+//
 // Restrictions (documented §6.3 scope): compaction is one-dimensional in x;
 // interfaces must be North-oriented with positive x pitch; leaf-cell boxes
 // must sit at non-negative local x.
@@ -22,7 +29,9 @@
 #include <string>
 #include <vector>
 
+#include "compact/constraint_builder.hpp"
 #include "compact/design_rule_table.hpp"
+#include "compact/simplex.hpp"
 #include "iface/interface_table.hpp"
 #include "layout/cell_table.hpp"
 
@@ -51,17 +60,52 @@ struct LeafResult {
   std::size_t unfolded_variable_count = 0;  // what per-instance edges would need
   std::size_t constraint_count = 0;
   double objective = 0.0;
+  LpStats lp_stats;
+};
+
+// One cell's shared edge variables and local geometry inside a LeafLpModel.
+struct LeafCellVars {
+  std::vector<LayerBox> boxes;
+  std::vector<int> left_vars;   // per box
+  std::vector<int> right_vars;
+};
+
+// The assembled leaf-compaction model: the folded constraint system, its LP
+// view (objective + gauge pins included), and the bookkeeping needed to
+// turn an LP solution back into a library.
+struct LeafLpModel {
+  ConstraintSystem system;
+  LpProblem lp;
+  std::map<std::string, LeafCellVars> cells;
+  std::vector<int> pitch_ids;  // per PitchSpec
+  std::vector<Coord> original_pitches;
+  std::vector<Coord> pitch_y;
+  std::size_t unfolded_variable_count = 0;
 };
 
 // `cell_names` lists the leaf cells whose geometry may change; every
 // PitchSpec's interface must exist in `interfaces`. Boxes listed in
 // `stretchable_layers` may shrink to minimum width (buses); all other boxes
 // are rigid (devices).
+LeafLpModel build_leaf_lp(const CellTable& cells, const InterfaceTable& interfaces,
+                          const std::vector<std::string>& cell_names,
+                          const std::vector<PitchSpec>& pitch_specs, const CompactionRules& rules,
+                          double width_weight = 1e-3,
+                          const std::vector<Layer>& stretchable_layers = {});
+
+// Solves the model with the selected LP engine, rounds to the integer grid
+// (relaxing pitches upward if rounding broke a constraint), and rebuilds
+// the per-cell geometry. Throws rsg::Error on infeasible systems.
+LeafResult solve_leaf_model(const LeafLpModel& model,
+                            LpMethod lp_method = LpMethod::kSparseRevised);
+
+// build_leaf_lp + solve_leaf_model.
 LeafResult compact_leaf_cells(const CellTable& cells, const InterfaceTable& interfaces,
                               const std::vector<std::string>& cell_names,
                               const std::vector<PitchSpec>& pitch_specs,
                               const CompactionRules& rules, double width_weight = 1e-3,
-                              const std::vector<Layer>& stretchable_layers = {});
+                              const std::vector<Layer>& stretchable_layers = {},
+                              LpMethod lp_method = LpMethod::kSparseRevised);
 
 // Rebuilds a fresh cell table + interface table from a compaction result —
 // "after the compaction is completed, it is possible to build a new sample

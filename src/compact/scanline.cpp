@@ -1,11 +1,13 @@
 #include "compact/scanline.hpp"
 
 #include <algorithm>
+#include <future>
 #include <limits>
 #include <map>
 #include <numeric>
 #include <queue>
 #include <set>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -433,12 +435,54 @@ void emit_pair_constraint(ConstraintSystem& system, const std::vector<Compaction
   }
 }
 
+// The visible partners one profile layer contributes, recorded per sweep
+// position: partners of the box at sweep position p live in
+// items[offsets[p] .. offsets[p + 1]).
+struct PartnerList {
+  std::vector<std::size_t> items;
+  std::vector<std::size_t> offsets;
+};
+
+// One profile layer's share of the Figure 6.7 sweep: walk the boxes in
+// sweep order, query this layer's profile for each box whose layer equals
+// or interacts with it, and insert the boxes of this layer. Each box lives
+// in exactly one layer's profile, so the per-layer sweeps are independent —
+// which is what lets generate_constraints_parallel run one per thread.
+template <class ProfileT>
+void discover_layer_partners(int li, const std::vector<CompactionBox>& boxes,
+                             const std::vector<std::size_t>& order, const CompactionRules& rules,
+                             PartnerList& out) {
+  const Layer la = static_cast<Layer>(li);
+  ProfileT profile;
+  out.items.clear();
+  out.offsets.assign(order.size() + 1, 0);
+  for (std::size_t p = 0; p < order.size(); ++p) {
+    out.offsets[p] = out.items.size();
+    const CompactionBox& b = boxes[order[p]];
+    const Layer lb = b.geometry.layer;
+    const bool same = (la == lb);
+    if (same || rules.interacts(la, lb)) {
+      // Shadow margin: boxes within spacing distance in y still constrain.
+      const Coord margin = same ? std::max<Coord>(rules.spacing(la, lb), 1)
+                                : rules.spacing(la, lb);
+      profile.query(b.geometry.box.lo.y - margin, b.geometry.box.hi.y + margin, out.items);
+    }
+    if (same) {
+      profile.insert(b.geometry.box.lo.y, b.geometry.box.hi.y, order[p], boxes);
+    }
+  }
+  out.offsets[order.size()] = out.items.size();
+}
+
 // The shared sweep driver of Figure 6.7, parameterized over the profile
-// implementation. Visible partners are deduplicated and sorted by box index
-// before emission, so both profiles produce the identical constraint order.
+// implementation. Each profile layer contributes its visible partners
+// independently (serially here, one thread per layer in the parallel
+// variant); per box the contributions are concatenated, deduplicated and
+// sorted by box index before emission, so every configuration produces the
+// identical constraint order.
 template <class ProfileT>
 void generate_constraints_impl(ConstraintSystem& system, const std::vector<CompactionBox>& boxes,
-                               const CompactionRules& rules, NetFinder& nets) {
+                               const CompactionRules& rules, NetFinder& nets, int threads) {
   add_width_and_anchor(system, boxes, rules);
 
   // Sweep order: left edge, then right edge (stable for determinism).
@@ -450,29 +494,45 @@ void generate_constraints_impl(ConstraintSystem& system, const std::vector<Compa
     return std::tuple(a.lo.x, a.hi.x) < std::tuple(b.lo.x, b.hi.x);
   });
 
-  std::vector<ProfileT> profiles(kNumLayers);
-  std::vector<std::size_t> seen;
-  for (const std::size_t ib : order) {
-    const CompactionBox& b = boxes[ib];
-    const Layer lb = b.geometry.layer;
-    seen.clear();
+  std::vector<PartnerList> per_layer(kNumLayers);
+  if (threads > 1) {
+    // One task per thread, layers strided across tasks, so the requested
+    // thread count really bounds the concurrency.
+    const int tasks = std::min(threads, kNumLayers);
+    std::vector<std::future<void>> pending;
+    pending.reserve(static_cast<std::size_t>(tasks));
+    for (int t = 0; t < tasks; ++t) {
+      pending.push_back(std::async(std::launch::async, [&, t] {
+        for (int li = t; li < kNumLayers; li += tasks) {
+          discover_layer_partners<ProfileT>(li, boxes, order, rules,
+                                            per_layer[static_cast<std::size_t>(li)]);
+        }
+      }));
+    }
+    for (std::future<void>& f : pending) f.get();
+  } else {
     for (int li = 0; li < kNumLayers; ++li) {
-      const Layer la = static_cast<Layer>(li);
-      const bool same = (la == lb);
-      if (!same && !rules.interacts(la, lb)) continue;
-      // Shadow margin: boxes within spacing distance in y still constrain.
-      const Coord margin = same ? std::max<Coord>(rules.spacing(la, lb), 1)
-                                : rules.spacing(la, lb);
-      profiles[static_cast<std::size_t>(li)].query(b.geometry.box.lo.y - margin,
-                                                   b.geometry.box.hi.y + margin, seen);
+      discover_layer_partners<ProfileT>(li, boxes, order, rules,
+                                        per_layer[static_cast<std::size_t>(li)]);
+    }
+  }
+
+  // Deterministic merge: per sweep position, gather every layer's partners
+  // (layer index order), then sort + dedup exactly as the one-pass sweep
+  // did with its shared `seen` buffer.
+  std::vector<std::size_t> seen;
+  for (std::size_t p = 0; p < order.size(); ++p) {
+    const std::size_t ib = order[p];
+    seen.clear();
+    for (const PartnerList& layer : per_layer) {
+      seen.insert(seen.end(), layer.items.begin() + static_cast<std::ptrdiff_t>(layer.offsets[p]),
+                  layer.items.begin() + static_cast<std::ptrdiff_t>(layer.offsets[p + 1]));
     }
     std::sort(seen.begin(), seen.end());
     seen.erase(std::unique(seen.begin(), seen.end()), seen.end());
     for (const std::size_t ia : seen) {
       if (ia != ib) emit_pair_constraint(system, boxes, ia, ib, rules, nets);
     }
-    profiles[static_cast<std::size_t>(lb)].insert(b.geometry.box.lo.y, b.geometry.box.hi.y, ib,
-                                                  boxes);
   }
 }
 
@@ -494,14 +554,24 @@ void add_box_variables(ConstraintSystem& system, std::vector<CompactionBox>& box
 void generate_constraints(ConstraintSystem& system, const std::vector<CompactionBox>& boxes,
                           const CompactionRules& rules) {
   NetFinder nets(boxes, NetFinder::Strategy::kSweep);
-  generate_constraints_impl<OrderedProfile>(system, boxes, rules, nets);
+  generate_constraints_impl<OrderedProfile>(system, boxes, rules, nets, /*threads=*/1);
+}
+
+void generate_constraints_parallel(ConstraintSystem& system,
+                                   const std::vector<CompactionBox>& boxes,
+                                   const CompactionRules& rules, int threads) {
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+  }
+  NetFinder nets(boxes, NetFinder::Strategy::kSweep);
+  generate_constraints_impl<OrderedProfile>(system, boxes, rules, nets, std::max(threads, 1));
 }
 
 void generate_constraints_reference(ConstraintSystem& system,
                                     const std::vector<CompactionBox>& boxes,
                                     const CompactionRules& rules) {
   NetFinder nets(boxes, NetFinder::Strategy::kQuadratic);
-  generate_constraints_impl<LinearProfile>(system, boxes, rules, nets);
+  generate_constraints_impl<LinearProfile>(system, boxes, rules, nets, /*threads=*/1);
 }
 
 void generate_constraints_naive(ConstraintSystem& system,

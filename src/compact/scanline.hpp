@@ -48,6 +48,16 @@ void add_box_variables(ConstraintSystem& system, std::vector<CompactionBox>& box
 void generate_constraints(ConstraintSystem& system, const std::vector<CompactionBox>& boxes,
                           const CompactionRules& rules);
 
+// The parallel variant: each layer's visibility sweep runs on its own
+// std::async task (a box lives in exactly one layer's profile, so the
+// sweeps are independent), and the per-layer partner lists are merged back
+// in sweep order — the emitted constraint stream is byte-identical to
+// generate_constraints. `threads` <= 0 means one per hardware core; 1 runs
+// the same code serially.
+void generate_constraints_parallel(ConstraintSystem& system,
+                                   const std::vector<CompactionBox>& boxes,
+                                   const CompactionRules& rules, int threads = 0);
+
 // The pre-scaling reference: all-pairs net discovery (O(n^2)) and a
 // linear-scan profile (O(n) per query/insert). Kept selectable so the
 // equivalence property tests and the scaling benchmark can prove the fast

@@ -62,7 +62,7 @@ class Tableau {
 
   // Minimizes the given objective over the current feasible basis.
   // Returns false if unbounded.
-  bool minimize(const std::vector<double>& costs) {
+  bool minimize(const std::vector<double>& costs, LpStats& stats) {
     // Reduced-cost row: z_j - c_j form, built fresh.
     objective_.assign(static_cast<std::size_t>(cols_), 0.0);
     for (int j = 0; j < cols_; ++j) objective_[static_cast<std::size_t>(j)] = 0.0;
@@ -78,15 +78,20 @@ class Tableau {
       }
     }
 
+    int degenerate_streak = 0;
+    bool bland = false;
     for (int guard = 0; guard < 100000; ++guard) {
-      // Bland's rule: entering variable = lowest index with negative
-      // reduced cost.
+      // Dantzig's rule (most negative reduced cost, ties to the lowest
+      // index); Bland's rule (lowest index with a negative reduced cost)
+      // once a degenerate-pivot streak suggests cycling.
       int entering = -1;
+      double most_negative = -kEps;
       for (int j = 0; j < cols_ - 1; ++j) {
-        if (objective_[static_cast<std::size_t>(j)] < -kEps) {
-          entering = j;
-          break;
-        }
+        const double d = objective_[static_cast<std::size_t>(j)];
+        if (d >= (bland ? -kEps : most_negative)) continue;
+        entering = j;
+        if (bland) break;
+        most_negative = d;
       }
       if (entering < 0) return true;  // optimal
 
@@ -106,6 +111,15 @@ class Tableau {
       }
       if (leaving < 0) return false;  // unbounded
       pivot(static_cast<std::size_t>(leaving), entering);
+      ++stats.iterations;
+      if (bland) ++stats.bland_pivots;
+      if (best <= kEps) {
+        ++stats.degenerate_pivots;
+        if (++degenerate_streak >= kDegeneratePivotStreak) bland = true;
+      } else {
+        degenerate_streak = 0;
+        bland = false;
+      }
     }
     throw Error("simplex: iteration limit exceeded");
   }
@@ -200,10 +214,12 @@ class Tableau {
 
 }  // namespace
 
-LpSolution solve_lp(const LpProblem& problem) {
+LpSolution solve_lp(const LpProblem& problem, LpMethod method) {
   if (static_cast<int>(problem.objective.size()) != problem.num_vars) {
     throw Error("simplex: objective size does not match variable count");
   }
+  if (method == LpMethod::kSparseRevised) return detail::solve_lp_sparse(problem);
+
   LpSolution solution;
   Tableau tableau(problem);
 
@@ -213,7 +229,9 @@ LpSolution solve_lp(const LpProblem& problem) {
     for (int j = tableau.num_structural() + tableau.num_slack(); j < tableau.cols() - 1; ++j) {
       phase1[static_cast<std::size_t>(j)] = 1.0;
     }
-    if (!tableau.minimize(phase1)) throw Error("simplex: phase 1 unbounded (bug)");
+    if (!tableau.minimize(phase1, solution.stats)) {
+      throw Error("simplex: phase 1 unbounded (bug)");
+    }
     if (!tableau.artificials_zero()) {
       solution.feasible = false;
       return solution;
@@ -228,7 +246,7 @@ LpSolution solve_lp(const LpProblem& problem) {
   for (int j = 0; j < problem.num_vars; ++j) {
     phase2[static_cast<std::size_t>(j)] = problem.objective[static_cast<std::size_t>(j)];
   }
-  if (!tableau.minimize(phase2)) {
+  if (!tableau.minimize(phase2, solution.stats)) {
     solution.feasible = true;
     solution.bounded = false;
     return solution;

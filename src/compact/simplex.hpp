@@ -1,12 +1,28 @@
-// A small dense two-phase simplex solver.
+// Linear-programming solvers for leaf-cell compaction.
 //
 // §6.3: the leaf-cell constraint graph "cannot be solved by shortest path
 // algorithms such as Bellman Ford because the weights on the edges are not
 // all constants ... a simple minded way to solve the system would be to
 // convert the graph to a system of linear equations and solve the system
-// using a linear programming algorithm like Simplex" — this is that
-// solver. Problems are tiny (tens of variables), so a dense tableau with
-// Bland's anti-cycling rule is entirely adequate.
+// using a linear programming algorithm like Simplex" — these are those
+// solvers. Two interchangeable methods sit behind one entry point:
+//
+//   kDenseTableau   the original two-phase dense tableau, O(m * cols) per
+//                   pivot. Kept as the equivalence baseline for the sparse
+//                   engine, the same way generate_constraints_reference
+//                   pins the scaled constraint generator.
+//   kSparseRevised  a revised simplex on a column-major (CSC) constraint
+//                   matrix: the basis inverse is held as an eta file
+//                   (product form) with periodic refactorization, pricing
+//                   is one BTRAN plus a pass over the sparse columns, and
+//                   the ratio test only visits the nonzeros of the FTRANed
+//                   entering column. Leaf-compaction systems have <= 3
+//                   nonzeros per row (two edges and a pitch), so each
+//                   iteration is O(m + nnz) instead of O(m^2).
+//
+// Both methods price with Dantzig's rule and fall back to Bland's rule
+// after a streak of degenerate pivots (anti-cycling), reverting once a
+// pivot makes progress.
 //
 //   minimize  c . x   subject to  sum_j a_ij x_j <= b_i ,  x >= 0
 #pragma once
@@ -27,13 +43,36 @@ struct LpProblem {
   std::vector<LpConstraint> constraints;
 };
 
+enum class LpMethod {
+  kDenseTableau,   // the pre-scaling baseline
+  kSparseRevised,  // CSC + eta-file revised simplex (the default)
+};
+
+struct LpStats {
+  int iterations = 0;         // pivots across both phases
+  int degenerate_pivots = 0;  // pivots with (numerically) zero step
+  int bland_pivots = 0;       // pivots taken under the anti-cycling fallback
+  int refactorizations = 0;   // sparse method: basis reinversions
+};
+
 struct LpSolution {
   bool feasible = false;
   bool bounded = true;
   std::vector<double> x;
   double objective = 0.0;
+  LpStats stats;
 };
 
-LpSolution solve_lp(const LpProblem& problem);
+LpSolution solve_lp(const LpProblem& problem, LpMethod method = LpMethod::kSparseRevised);
+
+// After this many consecutive degenerate pivots both methods switch from
+// Dantzig to Bland pricing until a pivot makes progress. Exposed so the
+// anti-cycling regression tests can reason about when the guard engages.
+inline constexpr int kDegeneratePivotStreak = 12;
+
+namespace detail {
+// The kSparseRevised engine (sparse_simplex.cpp). Call through solve_lp.
+LpSolution solve_lp_sparse(const LpProblem& problem);
+}  // namespace detail
 
 }  // namespace rsg::compact

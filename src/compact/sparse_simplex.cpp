@@ -1,0 +1,495 @@
+// The kSparseRevised LP engine: a revised simplex over a column-major (CSC)
+// constraint matrix.
+//
+// The dense tableau in simplex.cpp updates every row on every pivot —
+// O(m * cols) work per iteration, which is what made the §6.1–§6.3 leaf/LP
+// path the scaling bottleneck ROADMAP names. This engine never materializes
+// the tableau:
+//
+//   * The constraint matrix is stored once in CSC form (slack and
+//     artificial columns are implicit unit vectors), so pricing is one
+//     BTRAN plus a single pass over the stored nonzeros.
+//   * The basis inverse is held in product form: an eta file of sparse
+//     elementary matrices, one appended per pivot (the Bartels–Golub
+//     family's bookkeeping, without the LU permutation machinery the
+//     <= 3-nonzero-per-row compaction systems do not need).
+//   * The eta file is periodically refactorized: the basis is reinverted
+//     from scratch into a fresh file of m elementary matrices via
+//     Gauss–Jordan with partial pivoting, bounding both file growth and
+//     numerical drift.
+//   * The ratio test visits only the nonzeros of the FTRANed entering
+//     column.
+//
+// Per-iteration cost is therefore O(m + nnz(A) + nnz(eta file)) against the
+// dense engine's O(m * (n + m)) — the gap bench_leaf_scaling measures.
+//
+// Anti-cycling matches the dense path: Dantzig pricing, with Bland's rule
+// after kDegeneratePivotStreak consecutive degenerate pivots, reverting on
+// the first pivot that makes progress.
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "compact/simplex.hpp"
+#include "support/error.hpp"
+
+namespace rsg::compact::detail {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+constexpr double kPivotEps = 1e-11;
+constexpr double kFeasEps = 1e-7;
+constexpr int kRefactorInterval = 100;
+
+// One elementary (eta) matrix: the identity with column `row` replaced by a
+// sparse vector whose entry at `row` is `pivot` and whose other nonzeros
+// are `others`.
+struct Eta {
+  int row = 0;
+  double pivot = 1.0;
+  std::vector<std::pair<int, double>> others;  // (row, value), row != this->row
+};
+
+class RevisedSimplex {
+ public:
+  explicit RevisedSimplex(const LpProblem& problem)
+      : m_(static_cast<int>(problem.constraints.size())), n_(problem.num_vars) {
+    // Row normalization: rows with negative rhs are negated so the initial
+    // rhs is nonnegative; those rows carry an artificial (their negated
+    // slack cannot be basic at a feasible value).
+    sign_.assign(static_cast<std::size_t>(m_), 1.0);
+    b_.assign(static_cast<std::size_t>(m_), 0.0);
+    artificial_row_.clear();
+    for (int i = 0; i < m_; ++i) {
+      const double rhs = problem.constraints[static_cast<std::size_t>(i)].rhs;
+      if (rhs < -kEps) {
+        sign_[static_cast<std::size_t>(i)] = -1.0;
+        artificial_row_.push_back(i);
+      }
+      b_[static_cast<std::size_t>(i)] = sign_[static_cast<std::size_t>(i)] * rhs;
+    }
+    num_artificial_ = static_cast<int>(artificial_row_.size());
+    num_cols_ = n_ + m_ + num_artificial_;
+
+    // CSC for the structural columns, with the row signs folded in.
+    // Duplicate (row, var) terms are accumulated, matching the dense path.
+    std::vector<std::vector<std::pair<int, double>>> cols(static_cast<std::size_t>(n_));
+    for (int i = 0; i < m_; ++i) {
+      const LpConstraint& c = problem.constraints[static_cast<std::size_t>(i)];
+      for (const auto& [var, coeff] : c.terms) {
+        if (var < 0 || var >= n_) throw Error("simplex: variable index out of range");
+        auto& col = cols[static_cast<std::size_t>(var)];
+        if (!col.empty() && col.back().first == i) {
+          col.back().second += sign_[static_cast<std::size_t>(i)] * coeff;
+        } else {
+          col.emplace_back(i, sign_[static_cast<std::size_t>(i)] * coeff);
+        }
+      }
+    }
+    col_start_.assign(static_cast<std::size_t>(n_) + 1, 0);
+    std::size_t nnz = 0;
+    for (int j = 0; j < n_; ++j) nnz += cols[static_cast<std::size_t>(j)].size();
+    row_idx_.reserve(nnz);
+    val_.reserve(nnz);
+    for (int j = 0; j < n_; ++j) {
+      col_start_[static_cast<std::size_t>(j)] = static_cast<int>(row_idx_.size());
+      for (const auto& [row, value] : cols[static_cast<std::size_t>(j)]) {
+        row_idx_.push_back(row);
+        val_.push_back(value);
+      }
+    }
+    col_start_[static_cast<std::size_t>(n_)] = static_cast<int>(row_idx_.size());
+
+    // Initial basis: the artificial on negated rows, the slack elsewhere —
+    // exactly the identity, so the eta file starts empty.
+    basis_.assign(static_cast<std::size_t>(m_), -1);
+    in_basis_.assign(static_cast<std::size_t>(num_cols_), 0);
+    artificial_of_row_.assign(static_cast<std::size_t>(m_), -1);
+    for (int k = 0; k < num_artificial_; ++k) {
+      artificial_of_row_[static_cast<std::size_t>(artificial_row_[static_cast<std::size_t>(k)])] =
+          n_ + m_ + k;
+    }
+    for (int i = 0; i < m_; ++i) {
+      const int art = artificial_of_row_[static_cast<std::size_t>(i)];
+      basis_[static_cast<std::size_t>(i)] = art >= 0 ? art : n_ + i;
+      in_basis_[static_cast<std::size_t>(basis_[static_cast<std::size_t>(i)])] = 1;
+    }
+    x_basic_ = b_;
+    work_.assign(static_cast<std::size_t>(m_), 0.0);
+    is_touched_.assign(static_cast<std::size_t>(m_), 0);
+    touched_.reserve(static_cast<std::size_t>(m_));
+    price_.assign(static_cast<std::size_t>(m_), 0.0);
+  }
+
+  // Runs both phases; fills `solution`.
+  void solve(const LpProblem& problem, LpSolution& solution) {
+    if (num_artificial_ > 0) {
+      std::vector<double> phase1(static_cast<std::size_t>(num_cols_), 0.0);
+      for (int j = n_ + m_; j < num_cols_; ++j) phase1[static_cast<std::size_t>(j)] = 1.0;
+      if (!minimize(phase1, /*allow_artificial=*/false, solution.stats)) {
+        throw Error("simplex: phase 1 unbounded (bug)");
+      }
+      double artificial_sum = 0.0;
+      for (int i = 0; i < m_; ++i) {
+        if (basis_[static_cast<std::size_t>(i)] >= n_ + m_) {
+          artificial_sum += x_basic_[static_cast<std::size_t>(i)];
+        }
+      }
+      if (artificial_sum > kFeasEps) {
+        solution.feasible = false;
+        return;
+      }
+      expel_artificials(solution.stats);
+    }
+
+    std::vector<double> phase2(static_cast<std::size_t>(num_cols_), 0.0);
+    for (int j = 0; j < n_; ++j) {
+      phase2[static_cast<std::size_t>(j)] = problem.objective[static_cast<std::size_t>(j)];
+    }
+    if (!minimize(phase2, /*allow_artificial=*/false, solution.stats)) {
+      solution.feasible = true;
+      solution.bounded = false;
+      return;
+    }
+
+    solution.feasible = true;
+    solution.x.assign(static_cast<std::size_t>(n_), 0.0);
+    for (int i = 0; i < m_; ++i) {
+      const int j = basis_[static_cast<std::size_t>(i)];
+      if (j < n_) {
+        solution.x[static_cast<std::size_t>(j)] =
+            std::max(0.0, x_basic_[static_cast<std::size_t>(i)]);
+      }
+    }
+    solution.objective = 0.0;
+    for (int j = 0; j < n_; ++j) {
+      solution.objective +=
+          problem.objective[static_cast<std::size_t>(j)] * solution.x[static_cast<std::size_t>(j)];
+    }
+  }
+
+ private:
+  // --- column access -------------------------------------------------------
+
+  // work_ is kept all-zero between uses; load/ftran record the rows they
+  // write in touched_ so the downstream passes (ratio test, eta capture,
+  // x update) and the reset cost O(nnz) instead of O(m).
+  void touch(int row) {
+    if (!is_touched_[static_cast<std::size_t>(row)]) {
+      is_touched_[static_cast<std::size_t>(row)] = 1;
+      touched_.push_back(row);
+    }
+  }
+
+  void clear_work() {
+    for (const int row : touched_) {
+      work_[static_cast<std::size_t>(row)] = 0.0;
+      is_touched_[static_cast<std::size_t>(row)] = 0;
+    }
+    touched_.clear();
+  }
+
+  // work_ := column j of the (normalized) constraint matrix.
+  void load_work(int j) {
+    if (j < n_) {
+      for (int k = col_start_[static_cast<std::size_t>(j)];
+           k < col_start_[static_cast<std::size_t>(j) + 1]; ++k) {
+        const int row = row_idx_[static_cast<std::size_t>(k)];
+        touch(row);
+        work_[static_cast<std::size_t>(row)] += val_[static_cast<std::size_t>(k)];
+      }
+    } else if (j < n_ + m_) {
+      const int row = j - n_;
+      touch(row);
+      work_[static_cast<std::size_t>(row)] = sign_[static_cast<std::size_t>(row)];
+    } else {
+      const int row = artificial_row_[static_cast<std::size_t>(j - n_ - m_)];
+      touch(row);
+      work_[static_cast<std::size_t>(row)] = 1.0;
+    }
+  }
+
+  // y . a_j without materializing the column.
+  double dot_column(int j, const std::vector<double>& y) const {
+    if (j < n_) {
+      double acc = 0.0;
+      for (int k = col_start_[static_cast<std::size_t>(j)];
+           k < col_start_[static_cast<std::size_t>(j) + 1]; ++k) {
+        acc += y[static_cast<std::size_t>(row_idx_[static_cast<std::size_t>(k)])] *
+               val_[static_cast<std::size_t>(k)];
+      }
+      return acc;
+    }
+    if (j < n_ + m_) {
+      const int row = j - n_;
+      return y[static_cast<std::size_t>(row)] * sign_[static_cast<std::size_t>(row)];
+    }
+    return y[static_cast<std::size_t>(artificial_row_[static_cast<std::size_t>(j - n_ - m_)])];
+  }
+
+  // --- eta file ------------------------------------------------------------
+
+  // FTRAN: work_ <- B^-1 work_, applying the eta inverses in file order.
+  // An eta whose pivot row holds a zero is a no-op and is skipped, which is
+  // what keeps FTRANs of sparse columns cheap.
+  void ftran_work() {
+    for (const Eta& e : etas_) {
+      const double wr = work_[static_cast<std::size_t>(e.row)];
+      if (wr == 0.0) continue;
+      const double t = wr / e.pivot;
+      for (const auto& [row, value] : e.others) {
+        touch(row);
+        work_[static_cast<std::size_t>(row)] -= value * t;
+      }
+      work_[static_cast<std::size_t>(e.row)] = t;
+    }
+  }
+
+  // FTRAN on a dense right-hand side (used once per refactorization for the
+  // basic-value recompute, where sparsity tracking buys nothing).
+  void ftran_dense(std::vector<double>& w) const {
+    for (const Eta& e : etas_) {
+      const double wr = w[static_cast<std::size_t>(e.row)];
+      if (wr == 0.0) continue;
+      const double t = wr / e.pivot;
+      for (const auto& [row, value] : e.others) {
+        w[static_cast<std::size_t>(row)] -= value * t;
+      }
+      w[static_cast<std::size_t>(e.row)] = t;
+    }
+  }
+
+  // BTRAN: w^T <- w^T B^-1, applying the eta inverses in reverse order.
+  void btran(std::vector<double>& w) const {
+    for (auto it = etas_.rbegin(); it != etas_.rend(); ++it) {
+      double s = w[static_cast<std::size_t>(it->row)];
+      for (const auto& [row, value] : it->others) {
+        s -= value * w[static_cast<std::size_t>(row)];
+      }
+      w[static_cast<std::size_t>(it->row)] = s / it->pivot;
+    }
+  }
+
+  // Captures the FTRANed column held in work_ as the eta for a pivot at
+  // `row`. An identity eta (unit pivot, no off-pivot entries) is skipped.
+  void append_eta_from_work(int row) {
+    Eta e;
+    e.row = row;
+    e.pivot = work_[static_cast<std::size_t>(row)];
+    for (const int r : touched_) {
+      const double v = work_[static_cast<std::size_t>(r)];
+      if (r != row && std::abs(v) > kPivotEps) e.others.emplace_back(r, v);
+    }
+    if (e.others.empty() && std::abs(e.pivot - 1.0) <= kPivotEps) return;
+    etas_.push_back(std::move(e));
+  }
+
+  // Reinversion: rebuilds the eta file from scratch with (at most) one
+  // elementary matrix per basic column — Gauss–Jordan, partial pivoting
+  // over the rows not yet claimed. Column order is what keeps the new file
+  // sparse: the unit basis columns (slacks and artificials — the bulk of a
+  // compaction basis) go first, claiming their rows with no fill and no eta
+  // beyond a possible sign flip, so the elimination of the few structural
+  // columns that follows can only fill inside the structural subspace. Row
+  // assignments may permute; x_basic_ is recomputed, which also discards
+  // accumulated update drift.
+  void refactorize(LpStats& stats) {
+    ++stats.refactorizations;
+    clear_work();
+    const std::vector<int> old_basis = basis_;
+    etas_.clear();
+    std::vector<char> claimed(static_cast<std::size_t>(m_), 0);
+    std::vector<int> new_basis(static_cast<std::size_t>(m_), -1);
+    std::vector<int> structural;
+    for (int i = 0; i < m_; ++i) {
+      const int j = old_basis[static_cast<std::size_t>(i)];
+      if (j < n_) {
+        structural.push_back(j);
+        continue;
+      }
+      // A unit column: +-e_row. Distinct unit columns of a nonsingular
+      // basis sit on distinct rows, and the only etas so far are sign
+      // flips on other rows, so the column is still +-e_row here.
+      const int row = j < n_ + m_ ? j - n_ : artificial_row_[static_cast<std::size_t>(j - n_ - m_)];
+      const double pivot = j < n_ + m_ ? sign_[static_cast<std::size_t>(row)] : 1.0;
+      if (claimed[static_cast<std::size_t>(row)]) {
+        throw Error("simplex: singular basis during refactorization");
+      }
+      if (pivot != 1.0) {
+        Eta e;
+        e.row = row;
+        e.pivot = pivot;
+        etas_.push_back(std::move(e));
+      }
+      claimed[static_cast<std::size_t>(row)] = 1;
+      new_basis[static_cast<std::size_t>(row)] = j;
+    }
+    for (const int j : structural) {
+      load_work(j);
+      ftran_work();
+      int pivot_row = -1;
+      double best = kPivotEps;
+      for (const int r : touched_) {
+        if (claimed[static_cast<std::size_t>(r)]) continue;
+        const double mag = std::abs(work_[static_cast<std::size_t>(r)]);
+        if (mag > best) {
+          best = mag;
+          pivot_row = r;
+        }
+      }
+      if (pivot_row < 0) throw Error("simplex: singular basis during refactorization");
+      append_eta_from_work(pivot_row);
+      claimed[static_cast<std::size_t>(pivot_row)] = 1;
+      new_basis[static_cast<std::size_t>(pivot_row)] = j;
+      clear_work();
+    }
+    basis_ = new_basis;
+    x_basic_ = b_;
+    ftran_dense(x_basic_);
+    for (double& v : x_basic_) {
+      if (v < 0.0 && v > -kFeasEps) v = 0.0;
+    }
+    pivots_since_refactor_ = 0;
+  }
+
+  // --- the simplex loop ----------------------------------------------------
+
+  bool minimize(const std::vector<double>& costs, bool allow_artificial, LpStats& stats) {
+    int degenerate_streak = 0;
+    bool bland = false;
+    for (int guard = 0; guard < 200000; ++guard) {
+      // Pricing: y = c_B B^-1 (one BTRAN), then one pass over the columns.
+      for (int i = 0; i < m_; ++i) {
+        price_[static_cast<std::size_t>(i)] =
+            costs[static_cast<std::size_t>(basis_[static_cast<std::size_t>(i)])];
+      }
+      btran(price_);
+      const int priced_cols = allow_artificial ? num_cols_ : n_ + m_;
+      int entering = -1;
+      double most_negative = -kEps;
+      for (int j = 0; j < priced_cols; ++j) {
+        if (in_basis_[static_cast<std::size_t>(j)]) continue;
+        const double d = costs[static_cast<std::size_t>(j)] - dot_column(j, price_);
+        if (d >= (bland ? -kEps : most_negative)) continue;
+        entering = j;
+        if (bland) break;
+        most_negative = d;
+      }
+      if (entering < 0) return true;  // optimal
+
+      // FTRAN the entering column; the ratio test walks its nonzeros only.
+      load_work(entering);
+      ftran_work();
+      int leaving = -1;
+      double best = std::numeric_limits<double>::infinity();
+      for (const int i : touched_) {
+        const double a = work_[static_cast<std::size_t>(i)];
+        if (a <= kEps) continue;
+        const double ratio = std::max(0.0, x_basic_[static_cast<std::size_t>(i)]) / a;
+        if (ratio < best - kEps ||
+            (ratio < best + kEps &&
+             (leaving < 0 || basis_[static_cast<std::size_t>(i)] <
+                                 basis_[static_cast<std::size_t>(leaving)]))) {
+          best = ratio;
+          leaving = i;
+        }
+      }
+      if (leaving < 0) {
+        clear_work();
+        return false;  // unbounded
+      }
+
+      pivot(entering, leaving, best, stats);
+      if (bland) ++stats.bland_pivots;
+      if (best <= kEps) {
+        ++stats.degenerate_pivots;
+        if (++degenerate_streak >= kDegeneratePivotStreak) bland = true;
+      } else {
+        degenerate_streak = 0;
+        bland = false;
+      }
+    }
+    throw Error("simplex: iteration limit exceeded");
+  }
+
+  // Applies the pivot described by the FTRANed entering column in work_,
+  // then releases the work vector.
+  void pivot(int entering, int leaving_row, double step, LpStats& stats) {
+    if (step != 0.0) {
+      for (const int i : touched_) {
+        x_basic_[static_cast<std::size_t>(i)] -= step * work_[static_cast<std::size_t>(i)];
+        if (x_basic_[static_cast<std::size_t>(i)] < 0.0 &&
+            x_basic_[static_cast<std::size_t>(i)] > -kFeasEps) {
+          x_basic_[static_cast<std::size_t>(i)] = 0.0;
+        }
+      }
+    }
+    x_basic_[static_cast<std::size_t>(leaving_row)] = step;
+    in_basis_[static_cast<std::size_t>(basis_[static_cast<std::size_t>(leaving_row)])] = 0;
+    in_basis_[static_cast<std::size_t>(entering)] = 1;
+    basis_[static_cast<std::size_t>(leaving_row)] = entering;
+    append_eta_from_work(leaving_row);
+    clear_work();
+    ++stats.iterations;
+    if (++pivots_since_refactor_ >= kRefactorInterval) refactorize(stats);
+  }
+
+  // Drives every artificial still basic (necessarily at value 0 after a
+  // feasible phase 1) out of the basis by a degenerate pivot on the lowest
+  // eligible real column. Rows with no eligible column are redundant: the
+  // artificial stays, and because its tableau row is identically zero over
+  // the real columns, no later FTRANed column can touch it.
+  void expel_artificials(LpStats& stats) {
+    for (int r = 0; r < m_; ++r) {
+      if (basis_[static_cast<std::size_t>(r)] < n_ + m_) continue;
+      std::fill(price_.begin(), price_.end(), 0.0);
+      price_[static_cast<std::size_t>(r)] = 1.0;
+      btran(price_);  // price_ = row r of B^-1
+      for (int j = 0; j < n_ + m_; ++j) {
+        if (in_basis_[static_cast<std::size_t>(j)]) continue;
+        if (std::abs(dot_column(j, price_)) <= kEps) continue;
+        load_work(j);
+        ftran_work();
+        pivot(j, r, 0.0, stats);
+        break;
+      }
+    }
+  }
+
+  int m_ = 0;
+  int n_ = 0;
+  int num_artificial_ = 0;
+  int num_cols_ = 0;
+
+  std::vector<double> sign_;
+  std::vector<double> b_;
+  std::vector<int> artificial_row_;      // artificial k -> its row
+  std::vector<int> artificial_of_row_;   // row -> artificial column, or -1
+  std::vector<int> col_start_;           // CSC, structural columns only
+  std::vector<int> row_idx_;
+  std::vector<double> val_;
+
+  std::vector<int> basis_;     // row -> basic column
+  std::vector<char> in_basis_;
+  std::vector<double> x_basic_;
+  std::vector<Eta> etas_;
+  int pivots_since_refactor_ = 0;
+
+  std::vector<double> work_;     // FTRAN scratch, all-zero between uses
+  std::vector<int> touched_;     // rows written in work_ since clear_work
+  std::vector<char> is_touched_;
+  std::vector<double> price_;    // BTRAN scratch (dense)
+};
+
+}  // namespace
+
+LpSolution solve_lp_sparse(const LpProblem& problem) {
+  LpSolution solution;
+  RevisedSimplex engine(problem);
+  engine.solve(problem, solution);
+  return solution;
+}
+
+}  // namespace rsg::compact::detail

@@ -130,4 +130,55 @@ SynthField make_random_field(std::uint32_t seed, int tiles) {
   return field;
 }
 
+SynthLeafLibrary make_leaf_library(int num_cells, int boxes_per_cell, std::uint32_t seed) {
+  SynthLeafLibrary lib;
+  std::mt19937 rng(seed ^ 0x1EAF5EEDu);
+  auto rnd = [&](Coord lo, Coord hi) {
+    return std::uniform_int_distribution<Coord>(lo, hi)(rng);
+  };
+  constexpr Layer kLayers[4] = {Layer::kMetal1, Layer::kPoly, Layer::kDiffusion, Layer::kMetal2};
+  // Wider than any MOSIS spacing (max 6), so the original library is a
+  // feasible witness for every generated constraint system.
+  constexpr Coord kClearance = 8;
+
+  std::vector<Coord> widths;
+  for (int c = 0; c < num_cells; ++c) {
+    const std::string name = "leaf" + std::to_string(c);
+    Cell& cell = lib.cells.create(name);
+    lib.cell_names.push_back(name);
+    Coord width = 0;
+    const int rows = (boxes_per_cell + 1) / 2;
+    for (int r = 0; r < rows; ++r) {
+      const Coord y = r * 20;
+      const Coord w1 = rnd(6, 14);
+      const Coord x1 = r == 0 ? 0 : rnd(0, 3);  // row 0 anchors the gauge pin
+      cell.add_box(kLayers[(c + r) % 4], Box(x1, y, x1 + w1, y + 4));
+      width = std::max(width, x1 + w1);
+      if (2 * r + 1 < boxes_per_cell) {
+        const Coord w2 = rnd(6, 14);
+        const Coord x2 = x1 + w1 + kClearance + rnd(0, 6);
+        cell.add_box(kLayers[(c + r + 2) % 4], Box(x2, y, x2 + w2, y + 4));
+        width = std::max(width, x2 + w2);
+      }
+    }
+    widths.push_back(width);
+  }
+
+  for (int c = 0; c < num_cells; ++c) {
+    const std::string& name = lib.cell_names[static_cast<std::size_t>(c)];
+    lib.interfaces.declare(name, name, 1,
+                           Interface{{widths[static_cast<std::size_t>(c)] + kClearance, 0},
+                                     Orientation::kNorth});
+    lib.pitch_specs.push_back({name, name, 1, 1.0 + c % 3});
+    if (c + 1 < num_cells) {
+      const std::string& next = lib.cell_names[static_cast<std::size_t>(c) + 1];
+      lib.interfaces.declare(name, next, 1,
+                             Interface{{widths[static_cast<std::size_t>(c)] + kClearance, 0},
+                                       Orientation::kNorth});
+      lib.pitch_specs.push_back({name, next, 1, 1.0 + (c + 1) % 2});
+    }
+  }
+  return lib;
+}
+
 }  // namespace rsg::compact

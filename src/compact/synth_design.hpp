@@ -10,9 +10,13 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "compact/leaf_compactor.hpp"
 #include "geom/box.hpp"
+#include "iface/interface_table.hpp"
+#include "layout/cell_table.hpp"
 
 namespace rsg::compact {
 
@@ -39,5 +43,22 @@ SynthField make_pla_field(int inputs, int terms);
 // several motifs (single box, fragmented bus, transistor, overlapping
 // same-net metal) with jittered geometry and a seeded stretchable mask.
 SynthField make_random_field(std::uint32_t seed, int tiles);
+
+// Synthetic leaf-cell library for the §6.1–§6.3 LP path at scale: the
+// workload bench_leaf_scaling sweeps and the dense/sparse simplex
+// equivalence tests replay. `num_cells` cells of `boxes_per_cell` boxes
+// each (jittered two-box rows on rotating layers), chained by North
+// interfaces — every cell to itself and to its successor — so one LP
+// couples the whole library through 2·num_cells − 1 pitch variables.
+// Feasible by construction: each original pitch clears the widest design
+// rule, so the initial library is a witness solution.
+struct SynthLeafLibrary {
+  CellTable cells;
+  InterfaceTable interfaces;
+  std::vector<std::string> cell_names;
+  std::vector<PitchSpec> pitch_specs;
+};
+
+SynthLeafLibrary make_leaf_library(int num_cells, int boxes_per_cell, std::uint32_t seed);
 
 }  // namespace rsg::compact

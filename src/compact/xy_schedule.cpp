@@ -1,0 +1,75 @@
+#include "compact/xy_schedule.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "support/error.hpp"
+
+namespace rsg::compact {
+
+namespace {
+
+struct Extents {
+  Coord width = 0;
+  Coord height = 0;
+};
+
+Extents extents_of(const std::vector<LayerBox>& boxes) {
+  if (boxes.empty()) return {};
+  Coord min_x = boxes.front().box.lo.x;
+  Coord max_x = boxes.front().box.hi.x;
+  Coord min_y = boxes.front().box.lo.y;
+  Coord max_y = boxes.front().box.hi.y;
+  for (const LayerBox& lb : boxes) {
+    min_x = std::min(min_x, lb.box.lo.x);
+    max_x = std::max(max_x, lb.box.hi.x);
+    min_y = std::min(min_y, lb.box.lo.y);
+    max_y = std::max(max_y, lb.box.hi.y);
+  }
+  return {max_x - min_x, max_y - min_y};
+}
+
+}  // namespace
+
+XyScheduleResult compact_flat_schedule(const std::vector<LayerBox>& boxes,
+                                       const CompactionRules& rules, const FlatOptions& options,
+                                       const XyScheduleOptions& schedule,
+                                       const std::vector<bool>& stretchable) {
+  XyScheduleResult result;
+  result.boxes = boxes;
+  const Extents before = extents_of(boxes);
+  result.width_before = before.width;
+  result.height_before = before.height;
+
+  // One axis pass under the best-effort policy: an infeasible constraint
+  // system (rigid geometry violating its own spacing rules) keeps the
+  // current geometry for this axis instead of propagating the error.
+  const auto run_pass = [&](bool y_axis, bool& infeasible) {
+    try {
+      FlatResult pass = y_axis ? compact_flat_y(result.boxes, rules, options, stretchable)
+                               : compact_flat(result.boxes, rules, options, stretchable);
+      result.boxes = std::move(pass.boxes);
+    } catch (const Error&) {
+      if (!schedule.best_effort) throw;
+      infeasible = true;
+    }
+  };
+
+  for (int round = 0; round < schedule.max_rounds; ++round) {
+    const std::vector<LayerBox> previous = result.boxes;
+    run_pass(/*y_axis=*/false, result.x_infeasible);
+    run_pass(/*y_axis=*/true, result.y_infeasible);
+    result.rounds = round + 1;
+    if (result.boxes == previous) {
+      result.converged = true;
+      if (schedule.stop_when_converged) break;
+    }
+  }
+
+  const Extents after = extents_of(result.boxes);
+  result.width_after = after.width;
+  result.height_after = after.height;
+  return result;
+}
+
+}  // namespace rsg::compact

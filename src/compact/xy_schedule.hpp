@@ -1,0 +1,52 @@
+// The alternating x/y compaction schedule.
+//
+// The thesis's compactor is one-dimensional: "we will restrict ourselves to
+// one dimensional compaction in the x dimension" (§6.3), with y handled by
+// transposition. A single x pass then y pass (compact_flat_xy) leaves area
+// on the table — pulling boxes down changes which boxes share a band, so a
+// second x pass can reclaim width the first could not see. This driver
+// alternates the two axes until a round leaves the geometry unchanged (the
+// schedule's fixpoint; extents alone can plateau a round before the
+// geometry does) or a hard round cap — the scheduling layer the §6.4
+// experiments left open.
+#pragma once
+
+#include <vector>
+
+#include "compact/flat_compactor.hpp"
+
+namespace rsg::compact {
+
+struct XyScheduleOptions {
+  // Hard cap; each round is one x pass followed by one y pass.
+  int max_rounds = 8;
+  // Stop as soon as a round leaves the geometry unchanged. Disable to
+  // always run max_rounds (the benchmarks do, for stable work per run).
+  bool stop_when_converged = true;
+  // Layouts that violate their own design rules (§6.4's rigid devices
+  // closer than the spacing table allows) make a pass's constraint system
+  // infeasible. Best effort skips that axis for the round instead of
+  // throwing — the generator pipeline uses this so any layout may request
+  // compaction — and records the skip in the result.
+  bool best_effort = false;
+};
+
+struct XyScheduleResult {
+  std::vector<LayerBox> boxes;
+  Coord width_before = 0;
+  Coord width_after = 0;
+  Coord height_before = 0;
+  Coord height_after = 0;
+  int rounds = 0;           // rounds actually run
+  bool converged = false;   // a round left the geometry unchanged
+  bool x_infeasible = false;  // best effort: some x pass was skipped
+  bool y_infeasible = false;  // best effort: some y pass was skipped
+};
+
+XyScheduleResult compact_flat_schedule(const std::vector<LayerBox>& boxes,
+                                       const CompactionRules& rules,
+                                       const FlatOptions& options = {},
+                                       const XyScheduleOptions& schedule = {},
+                                       const std::vector<bool>& stretchable = {});
+
+}  // namespace rsg::compact

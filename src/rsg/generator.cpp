@@ -1,9 +1,11 @@
 #include "rsg/generator.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "io/cif_writer.hpp"
 #include "lang/parser.hpp"
+#include "layout/flatten.hpp"
 #include "support/error.hpp"
 
 namespace rsg {
@@ -52,6 +54,36 @@ GeneratorResult Generator::run(const std::string& sample_text, const std::string
     top_name = cells_.names_in_order().back();
   }
   result.top = &cells_.get(top_name);
+
+  // Optional post-generation compaction: the `.compact:xy` directive
+  // enables the default request; set_compaction overrides it. The compacted
+  // flat cell replaces the hierarchical top in the result and the output.
+  CompactionRequest request = compaction_;
+  if (const std::string* mode = params.directive("compact"); mode != nullptr) {
+    if (*mode != "xy") {
+      throw Error("parameter file: unknown .compact mode '" + *mode + "' (expected 'xy')");
+    }
+    request.enabled = true;
+  }
+  if (request.enabled) {
+    const std::vector<LayerBox> flat = flatten_boxes(*result.top);
+    std::vector<bool> stretchable;
+    if (!request.stretchable_layers.empty()) {
+      stretchable.reserve(flat.size());
+      for (const LayerBox& lb : flat) {
+        stretchable.push_back(std::find(request.stretchable_layers.begin(),
+                                        request.stretchable_layers.end(),
+                                        lb.layer) != request.stretchable_layers.end());
+      }
+    }
+    result.compaction =
+        compact::compact_flat_schedule(flat, request.rules, request.flat, request.schedule,
+                                       stretchable);
+    Cell& compacted = cells_.create(top_name + "_compacted");
+    for (const LayerBox& lb : result.compaction.boxes) compacted.add_box(lb.layer, lb.box);
+    result.top = &compacted;
+    result.compacted = true;
+  }
 
   // Phase 3: write the output (CIF, in memory; callers persist as needed).
   result.output = cif_to_string(*result.top);

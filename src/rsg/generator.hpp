@@ -14,7 +14,11 @@
 
 #include <chrono>
 #include <string>
+#include <vector>
 
+#include "compact/design_rule_table.hpp"
+#include "compact/flat_compactor.hpp"
+#include "compact/xy_schedule.hpp"
 #include "graph/connectivity_graph.hpp"
 #include "iface/interface_table.hpp"
 #include "io/param_file.hpp"
@@ -23,6 +27,30 @@
 #include "layout/cell_table.hpp"
 
 namespace rsg {
+
+// Post-generation compaction (§6.4 wired into the Figure 1.1 driver): after
+// the design file has assembled the top cell, flatten it, run the
+// alternating x/y schedule, and emit the compacted geometry as the output
+// layout. Requested programmatically via Generator::set_compaction or from
+// the parameter file with the directive `.compact:xy`.
+struct CompactionRequest {
+  // Best effort by default: a generated layout that violates the rule
+  // table on one axis still compacts on the other (the skip is recorded in
+  // GeneratorResult::compaction).
+  static compact::XyScheduleOptions default_schedule() {
+    compact::XyScheduleOptions options;
+    options.best_effort = true;
+    return options;
+  }
+
+  bool enabled = false;
+  compact::CompactionRules rules;  // defaults to the MOSIS lambda table
+  compact::FlatOptions flat;
+  compact::XyScheduleOptions schedule = default_schedule();
+  // Boxes on these layers may shrink to minimum width (buses); all other
+  // boxes stay rigid (devices).
+  std::vector<Layer> stretchable_layers;
+};
 
 struct PhaseTimes {
   std::chrono::duration<double> read_sample{};
@@ -42,6 +70,10 @@ struct GeneratorResult {
   SampleLayoutStats sample_stats;
   lang::Interpreter::Stats interp_stats;
   std::size_t interface_lookups = 0;
+  // Filled when post-generation compaction ran (see CompactionRequest);
+  // `top` then points at the compacted flat cell.
+  bool compacted = false;
+  compact::XyScheduleResult compaction;
 };
 
 class Generator {
@@ -67,11 +99,16 @@ class Generator {
   // the tt_* builtins (§4). The table must outlive run().
   void set_encoding_table(const lang::Interpreter::EncodingTable* table) { encoding_ = table; }
 
+  // Requests post-generation compaction of the top cell. The parameter-file
+  // directive `.compact:xy` enables the same with default options.
+  void set_compaction(const CompactionRequest& request) { compaction_ = request; }
+
  private:
   CellTable cells_;
   InterfaceTable interfaces_;
   ConnectivityGraph graph_;
   const lang::Interpreter::EncodingTable* encoding_ = nullptr;
+  CompactionRequest compaction_;
 };
 
 // Resolves a data file shipped in the repository's designs/ directory.

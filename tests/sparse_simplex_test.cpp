@@ -1,0 +1,161 @@
+// Equivalence and robustness tests for the sparse revised simplex: the new
+// engine must reproduce the dense tableau baseline's objectives on the
+// leaf-compaction workloads it was built to scale (and its geometry where
+// the optimum is unique), stay exact on randomized small LPs, and survive
+// known-degenerate systems through the Bland anti-cycling fallback.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "compact/leaf_compactor.hpp"
+#include "compact/simplex.hpp"
+#include "compact/synth_design.hpp"
+#include "support/error.hpp"
+
+namespace rsg::compact {
+namespace {
+
+TEST(SparseSimplex, MatchesDenseObjectiveOnSeededLeafLibraries) {
+  // The acceptance workload: the same synthetic libraries bench_leaf_scaling
+  // sweeps, across seeds and sizes. Identical LpProblem, both engines, the
+  // objectives must agree to relative 1e-6.
+  for (const std::uint32_t seed : {0u, 1u, 2u, 3u, 4u, 5u, 6u, 7u}) {
+    const int num_cells = 2 + static_cast<int>(seed % 4) * 2;
+    const SynthLeafLibrary lib = make_leaf_library(num_cells, 6, seed);
+    const LeafLpModel model = build_leaf_lp(lib.cells, lib.interfaces, lib.cell_names,
+                                            lib.pitch_specs, CompactionRules::mosis());
+    const LpSolution dense = solve_lp(model.lp, LpMethod::kDenseTableau);
+    const LpSolution sparse = solve_lp(model.lp, LpMethod::kSparseRevised);
+    ASSERT_TRUE(dense.feasible && dense.bounded) << "seed " << seed;
+    ASSERT_TRUE(sparse.feasible && sparse.bounded) << "seed " << seed;
+    EXPECT_NEAR(sparse.objective, dense.objective,
+                1e-6 * (1.0 + std::abs(dense.objective)))
+        << "seed " << seed;
+  }
+}
+
+TEST(SparseSimplex, MatchesDenseGeometryOnUniqueOptimum) {
+  // End to end through the leaf compactor on the Figure 6.3-style cell of
+  // leafcell_test, whose optimum is unique (rigid widths force every edge).
+  CellTable cells;
+  InterfaceTable interfaces;
+  Cell& a = cells.create("a");
+  a.add_box(Layer::kMetal1, Box(0, 0, 10, 4));
+  a.add_box(Layer::kMetal1, Box(30, 0, 40, 4));
+  interfaces.declare("a", "a", 1, Interface{{60, 0}, Orientation::kNorth});
+  const std::vector<PitchSpec> specs = {{"a", "a", 1, 1.0}};
+
+  const LeafResult dense = compact_leaf_cells(cells, interfaces, {"a"}, specs,
+                                              CompactionRules::mosis(), 1e-3, {},
+                                              LpMethod::kDenseTableau);
+  const LeafResult sparse = compact_leaf_cells(cells, interfaces, {"a"}, specs,
+                                               CompactionRules::mosis(), 1e-3, {},
+                                               LpMethod::kSparseRevised);
+  EXPECT_EQ(dense.pitches, sparse.pitches);
+  EXPECT_EQ(dense.cells.at("a"), sparse.cells.at("a"));
+  EXPECT_NEAR(dense.objective, sparse.objective, 1e-6);
+}
+
+TEST(SparseSimplex, MatchesDenseOnRandomSmallLps) {
+  // Fuzz: random bounded-feasible LPs (nonnegative objective keeps them
+  // bounded; mixed-sign rhs exercises phase 1 and the artificial machinery).
+  for (std::uint32_t seed = 0; seed < 60; ++seed) {
+    std::mt19937 rng(seed * 2654435761u + 1);
+    std::uniform_int_distribution<int> dim(1, 8);
+    std::uniform_real_distribution<double> coeff(-3.0, 3.0);
+    std::uniform_real_distribution<double> cost(0.0, 2.0);
+
+    LpProblem p;
+    p.num_vars = dim(rng);
+    for (int j = 0; j < p.num_vars; ++j) p.objective.push_back(cost(rng));
+    const int rows = dim(rng);
+    for (int i = 0; i < rows; ++i) {
+      LpConstraint c;
+      for (int j = 0; j < p.num_vars; ++j) {
+        const double v = coeff(rng);
+        if (std::abs(v) > 1.0) c.terms.emplace_back(j, v);
+      }
+      c.rhs = coeff(rng);
+      p.constraints.push_back(std::move(c));
+    }
+
+    const LpSolution dense = solve_lp(p, LpMethod::kDenseTableau);
+    const LpSolution sparse = solve_lp(p, LpMethod::kSparseRevised);
+    ASSERT_EQ(dense.feasible, sparse.feasible) << "seed " << seed;
+    if (!dense.feasible) continue;
+    ASSERT_EQ(dense.bounded, sparse.bounded) << "seed " << seed;
+    if (!dense.bounded) continue;
+    EXPECT_NEAR(sparse.objective, dense.objective,
+                1e-6 * (1.0 + std::abs(dense.objective)))
+        << "seed " << seed;
+  }
+}
+
+TEST(SparseSimplex, BlandFallbackEngagesOnDegenerateStreak) {
+  // A known-degenerate plateau: k rows x_{k+1} <= x_i are all tight at the
+  // origin, so the walk to the optimum is a long chain of zero-step pivots.
+  // The streak guard must flip both engines to Bland's rule (observable in
+  // the stats) and both must still reach the true optimum x = 1.
+  LpProblem p;
+  constexpr int kChain = 20;
+  p.num_vars = kChain + 1;
+  p.objective.assign(kChain + 1, 0.0);
+  p.objective.back() = -1.0;  // max x_{k+1}
+  for (int i = 0; i < kChain; ++i) {
+    p.constraints.push_back({{{kChain, 1.0}, {i, -1.0}}, 0.0});  // x_{k+1} <= x_i
+    p.constraints.push_back({{{i, 1.0}}, 1.0});                  // x_i <= 1
+  }
+  p.constraints.push_back({{{kChain, 1.0}}, 1.0});  // x_{k+1} <= 1
+  for (const LpMethod method : {LpMethod::kDenseTableau, LpMethod::kSparseRevised}) {
+    const LpSolution s = solve_lp(p, method);
+    ASSERT_TRUE(s.feasible);
+    ASSERT_TRUE(s.bounded);
+    EXPECT_NEAR(s.objective, -1.0, 1e-6);
+    EXPECT_GE(s.stats.degenerate_pivots, kDegeneratePivotStreak);
+    EXPECT_GT(s.stats.bland_pivots, 0);
+  }
+}
+
+TEST(SparseSimplex, BealeCyclingExampleTerminates) {
+  // Beale's classic cycling construction, the canonical known-degenerate
+  // regression input: whatever pricing path the engines take, they must
+  // terminate at the optimum instead of looping.
+  LpProblem p;
+  p.num_vars = 3;
+  p.objective = {-0.75, 150.0, -0.02};
+  p.constraints = {
+      {{{0, 0.25}, {1, -60.0}, {2, -0.04}}, 0.0},
+      {{{0, 0.5}, {1, -90.0}, {2, -0.02}}, 0.0},
+      {{{2, 1.0}}, 1.0},
+  };
+  for (const LpMethod method : {LpMethod::kDenseTableau, LpMethod::kSparseRevised}) {
+    const LpSolution s = solve_lp(p, method);
+    ASSERT_TRUE(s.feasible);
+    ASSERT_TRUE(s.bounded);
+    EXPECT_NEAR(s.objective, -0.05, 1e-6);
+    EXPECT_GT(s.stats.degenerate_pivots, 0);
+  }
+}
+
+TEST(SparseSimplex, RefactorizationSurvivesLongRuns) {
+  // A long difference-constraint chain forces enough pivots to cross the
+  // refactorization interval several times; the optimum (the chain length)
+  // pins the answer regardless.
+  LpProblem p;
+  constexpr int kVars = 400;
+  p.num_vars = kVars;
+  p.objective.assign(kVars, 0.0);
+  p.objective.back() = 1.0;
+  p.constraints.push_back({{{0, -1.0}}, -1.0});  // x0 >= 1
+  for (int v = 1; v < kVars; ++v) {
+    p.constraints.push_back({{{v - 1, 1.0}, {v, -1.0}}, -1.0});  // x_v >= x_{v-1} + 1
+  }
+  const LpSolution s = solve_lp(p, LpMethod::kSparseRevised);
+  ASSERT_TRUE(s.feasible);
+  ASSERT_TRUE(s.bounded);
+  EXPECT_NEAR(s.objective, static_cast<double>(kVars), 1e-6);
+  EXPECT_GT(s.stats.refactorizations, 0);
+}
+
+}  // namespace
+}  // namespace rsg::compact

@@ -1,0 +1,190 @@
+// Tests for the alternating x/y compaction schedule and its wiring into the
+// rsg::Generator pipeline, plus the transpose property that pins y
+// compaction to x compaction on 100+ seeded synthetic fields.
+#include "compact/xy_schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include "compact/synth_design.hpp"
+#include "layout/design_rules.hpp"
+#include "layout/flatten.hpp"
+#include "pla/pla_builder.hpp"
+#include "pla/truth_table.hpp"
+#include "rsg/generator.hpp"
+#include "support/error.hpp"
+
+namespace rsg::compact {
+namespace {
+
+std::vector<LayerBox> transposed(const std::vector<LayerBox>& boxes) {
+  std::vector<LayerBox> out;
+  out.reserve(boxes.size());
+  for (const LayerBox& lb : boxes) {
+    out.push_back({lb.layer, Box(lb.box.lo.y, lb.box.lo.x, lb.box.hi.y, lb.box.hi.x)});
+  }
+  return out;
+}
+
+TEST(XySchedule, YCompactionIsTransposedXCompaction) {
+  // compact_flat_y(boxes) == transpose(compact_flat(transpose(boxes))) on
+  // 100+ seeded fields — the contract that makes the alternating schedule a
+  // pure composition of one-dimensional passes (§6.3).
+  for (std::uint32_t seed = 0; seed < 110; ++seed) {
+    const SynthField field = make_random_field(seed, 4 + static_cast<int>(seed % 30));
+    const FlatResult y_pass =
+        compact_flat_y(field.boxes, CompactionRules::mosis(), {}, field.stretchable);
+    const FlatResult x_of_transpose =
+        compact_flat(transposed(field.boxes), CompactionRules::mosis(), {}, field.stretchable);
+    EXPECT_EQ(y_pass.boxes, transposed(x_of_transpose.boxes)) << "seed " << seed;
+    EXPECT_EQ(y_pass.width_after, x_of_transpose.width_after) << "seed " << seed;
+    EXPECT_EQ(y_pass.constraint_count, x_of_transpose.constraint_count) << "seed " << seed;
+  }
+}
+
+TEST(XySchedule, ConvergesOnGridField) {
+  const SynthField field = make_grid_field(8, 8);
+  XyScheduleOptions schedule;
+  schedule.max_rounds = 8;
+  const XyScheduleResult result = compact_flat_schedule(
+      field.boxes, CompactionRules::mosis(), {}, schedule, field.stretchable);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LT(result.rounds, schedule.max_rounds);
+  EXPECT_LT(result.width_after, result.width_before);
+  EXPECT_LT(result.height_after, result.height_before);
+}
+
+TEST(XySchedule, ConvergedFixpointIsStable) {
+  // Once a round leaves the geometry unchanged, every further round is a
+  // no-op: running past convergence must reproduce the converged geometry
+  // exactly.
+  const SynthField field = make_random_field(99, 40);
+  XyScheduleOptions to_convergence;
+  to_convergence.max_rounds = 16;
+  const XyScheduleResult converged = compact_flat_schedule(
+      field.boxes, CompactionRules::mosis(), {}, to_convergence, field.stretchable);
+  ASSERT_TRUE(converged.converged);
+
+  XyScheduleOptions overrun;
+  overrun.max_rounds = converged.rounds + 3;
+  overrun.stop_when_converged = false;
+  const XyScheduleResult extra = compact_flat_schedule(
+      field.boxes, CompactionRules::mosis(), {}, overrun, field.stretchable);
+  EXPECT_EQ(converged.boxes, extra.boxes);
+  EXPECT_EQ(converged.width_after, extra.width_after);
+  EXPECT_EQ(converged.height_after, extra.height_after);
+}
+
+TEST(XySchedule, SecondRoundCanBeatSingleXyPass) {
+  // The workload alternation exists for: the y pass can drop a box out of
+  // a band, freeing a second x pass to reclaim width a single xy pass
+  // leaves behind. Here A and B share a band (x pass holds B right of A),
+  // a narrow blocker C pins A's height — so the y pass drops only B, and
+  // the second x pass slides B over the gap beside C.
+  const std::vector<LayerBox> boxes = {
+      {Layer::kMetal1, Box(0, 10, 10, 14)},   // A
+      {Layer::kMetal1, Box(16, 10, 26, 14)},  // B
+      {Layer::kMetal1, Box(0, 0, 4, 4)},      // C (blocker under A)
+  };
+  const XyResult one = compact_flat_xy(boxes, CompactionRules::mosis());
+  XyScheduleOptions schedule;
+  schedule.max_rounds = 8;
+  const XyScheduleResult many =
+      compact_flat_schedule(boxes, CompactionRules::mosis(), {}, schedule);
+  EXPECT_TRUE(many.converged);
+  EXPECT_EQ(one.width_after, 26);
+  EXPECT_EQ(many.width_after, 20);
+  EXPECT_LE(many.height_after, one.height_after);
+}
+
+TEST(XySchedule, GeneratorRunsRequestedCompaction) {
+  // The §6.4 compactor wired into the Figure 1.1 driver: a RAM-style row
+  // design asks for post-generation compaction programmatically.
+  constexpr const char* kSample = R"(
+cell brick
+  box metal1 0 0 20 8
+end
+assembly
+  inst a brick 0 0 N
+  inst b brick 40 0 N
+  label 1 from a to b
+end
+)";
+  constexpr const char* kDesign = R"(
+(macro mrow (n)
+  (locals foo)
+  (do (i 1 (+ i 1) (> i n))
+      (mk_instance b.i brick)
+      (cond ((> i 1) (connect b.(- i 1) b.i 1)))))
+(assign r (mrow n))
+(mk_cell "row" (subcell r b.1))
+)";
+  Generator plain;
+  const GeneratorResult loose = plain.run(kSample, kDesign, "n = 6");
+  EXPECT_FALSE(loose.compacted);
+
+  Generator compacting;
+  CompactionRequest request;
+  request.enabled = true;
+  compacting.set_compaction(request);
+  const GeneratorResult tight = compacting.run(kSample, kDesign, "n = 6");
+  ASSERT_TRUE(tight.compacted);
+  EXPECT_EQ(tight.top->name(), "row_compacted");
+  // The sample leaves 20 units of slack per interface; the schedule closes
+  // each gap to the metal1 spacing.
+  EXPECT_EQ(tight.compaction.width_before, 5 * 40 + 20);
+  EXPECT_EQ(tight.compaction.width_after, 6 * 20 + 5 * 6);
+  EXPECT_TRUE(check_design_rules(flatten_boxes(*tight.top), DesignRules::mosis_lambda()).empty());
+  EXPECT_NE(tight.output.find("row_compacted"), std::string::npos);
+}
+
+TEST(XySchedule, CompactDirectiveEnablesCompaction) {
+  // `.compact:xy` in the parameter file requests the same through data.
+  constexpr const char* kSample = R"(
+cell brick
+  box metal1 0 0 20 8
+end
+assembly
+  inst a brick 0 0 N
+  inst b brick 40 0 N
+  label 1 from a to b
+end
+)";
+  constexpr const char* kDesign = R"(
+(mk_instance x brick)
+(mk_instance y brick)
+(connect x y 1)
+(mk_cell "pair" x)
+)";
+  Generator generator;
+  const GeneratorResult result = generator.run(kSample, kDesign, ".compact:xy\n");
+  ASSERT_TRUE(result.compacted);
+  EXPECT_LT(result.compaction.width_after, result.compaction.width_before);
+
+  Generator misspelled;
+  EXPECT_THROW(misspelled.run(kSample, kDesign, ".compact:x\n"), Error);
+}
+
+TEST(XySchedule, GeneratedPlaCompactsBestEffort) {
+  // The PLA generator output (E10) through the same hook. Its sample cells
+  // sit closer than the MOSIS table allows in x (rigid overlaps make that
+  // axis's constraint system infeasible), so the best-effort schedule must
+  // skip x, still compact y, and record the skip.
+  pla::TruthTable table = pla::TruthTable::parse(
+      "10 10\n"
+      "01 11\n"
+      "-1 01\n");
+  Generator generator;
+  CompactionRequest request;
+  request.enabled = true;
+  generator.set_compaction(request);
+  const GeneratorResult result = pla::generate_pla(generator, table);
+  ASSERT_TRUE(result.compacted);
+  EXPECT_TRUE(result.compaction.converged);
+  EXPECT_TRUE(result.compaction.x_infeasible);
+  EXPECT_LT(result.compaction.height_after, result.compaction.height_before);
+  EXPECT_LE(result.compaction.width_after, result.compaction.width_before);
+  EXPECT_FALSE(flatten_boxes(*result.top).empty());
+}
+
+}  // namespace
+}  // namespace rsg::compact
