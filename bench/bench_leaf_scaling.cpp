@@ -46,11 +46,12 @@ const LeafLpModel& model_for(int num_cells) {
   return it->second;
 }
 
-void run_method(benchmark::State& state, LpMethod method) {
+void run_method(benchmark::State& state, LpMethod method,
+                LpPricing pricing = LpPricing::kDantzig) {
   const LeafLpModel& model = model_for(static_cast<int>(state.range(0)));
   LpSolution solution;
   for (auto _ : state) {
-    solution = solve_lp(model.lp, method);
+    solution = solve_lp(model.lp, method, pricing);
     benchmark::DoNotOptimize(solution.objective);
   }
   state.counters["rows"] = static_cast<double>(model.lp.constraints.size());
@@ -61,14 +62,22 @@ void run_method(benchmark::State& state, LpMethod method) {
 
 void BM_LeafSolveDense(benchmark::State& state) { run_method(state, LpMethod::kDenseTableau); }
 void BM_LeafSolveSparse(benchmark::State& state) { run_method(state, LpMethod::kSparseRevised); }
+void BM_LeafSolveSparseDevex(benchmark::State& state) {
+  run_method(state, LpMethod::kSparseRevised, LpPricing::kDevex);
+}
 
 BENCHMARK(BM_LeafSolveDense)->RangeMultiplier(2)->Range(2, 32)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_LeafSolveSparse)->RangeMultiplier(2)->Range(2, 32)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_LeafSolveSparseDevex)
+    ->RangeMultiplier(2)
+    ->Range(2, 32)
+    ->Unit(benchmark::kMillisecond);
 
 void print_scaling_table() {
-  std::printf("== leaf/LP compaction at scale (§6.1–§6.3): dense vs sparse simplex ==\n");
-  std::printf("%-8s %-8s %-8s %-14s %-14s %-10s %-12s\n", "cells", "rows", "cols", "dense(ms)",
-              "sparse(ms)", "speedup", "obj match");
+  std::printf(
+      "== leaf/LP compaction at scale (§6.1–§6.3): dense vs sparse simplex ==\n");
+  std::printf("%-8s %-8s %-8s %-14s %-14s %-10s %-14s %-12s\n", "cells", "rows", "cols",
+              "dense(ms)", "sparse(ms)", "speedup", "devex pivots", "obj match");
   using Clock = std::chrono::steady_clock;
   for (const int cells : {2, 4, 8, 16, 32}) {
     const LeafLpModel& model = model_for(cells);
@@ -77,13 +86,19 @@ void print_scaling_table() {
     const auto t1 = Clock::now();
     const LpSolution sparse = solve_lp(model.lp, LpMethod::kSparseRevised);
     const auto t2 = Clock::now();
+    const LpSolution devex = solve_lp(model.lp, LpMethod::kSparseRevised, LpPricing::kDevex);
     const double dense_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
     const double sparse_ms = std::chrono::duration<double, std::milli>(t2 - t1).count();
     const bool match = std::abs(dense.objective - sparse.objective) <=
-                       1e-6 * (1.0 + std::abs(dense.objective));
-    std::printf("%-8d %-8zu %-8d %-14.2f %-14.2f %-10.1f %-12s\n", cells,
+                           1e-6 * (1.0 + std::abs(dense.objective)) &&
+                       std::abs(dense.objective - devex.objective) <=
+                           1e-6 * (1.0 + std::abs(dense.objective));
+    char pivots[32];
+    std::snprintf(pivots, sizeof pivots, "%d/%d", devex.stats.iterations,
+                  sparse.stats.iterations);
+    std::printf("%-8d %-8zu %-8d %-14.2f %-14.2f %-10.1f %-14s %-12s\n", cells,
                 model.lp.constraints.size(), model.lp.num_vars, dense_ms, sparse_ms,
-                dense_ms / sparse_ms, match ? "yes" : "NO");
+                dense_ms / sparse_ms, pivots, match ? "yes" : "NO");
   }
   std::printf("speedup = dense / sparse on the identical LpProblem; the acceptance\n");
   std::printf("bar is >= 10x at the largest size with matching objectives.\n\n");

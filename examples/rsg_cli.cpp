@@ -2,9 +2,16 @@
 // on the DEC-2060: three input files in, one layout file out.
 //
 //   rsg_cli <sample> <design> <params> [-o out.cif] [--svg out.svg]
-//           [--top name] [--stats]
+//           [--top name] [--stats] [--compact-stats]
+//
+// --compact-stats prints the per-round telemetry of the post-generation
+// x/y compaction schedule (requested with the `.compact:xy` parameter-file
+// directive): per-axis extent deltas, constraint reuse, solver pops, warm
+// starts, and wall time — what makes a converged schedule distinguishable
+// from a capped one.
 //
 // The sample may be the text format (.sample) or CIF (detected by content).
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -20,7 +27,45 @@ namespace {
 
 const char kUsage[] =
     "usage: rsg_cli <sample> <design> <params> [-o out.cif] [--svg out.svg]\n"
-    "               [--top name] [--stats]\n";
+    "               [--top name] [--stats] [--compact-stats]\n";
+
+void print_compact_stats(const rsg::GeneratorResult& result) {
+  using rsg::compact::RoundStats;
+  if (!result.compacted) {
+    std::cerr << "compaction:     not run (enable with the .compact:xy directive)\n";
+    return;
+  }
+  const rsg::compact::XyScheduleResult& c = result.compaction;
+  std::fprintf(stderr, "compaction:     %d round%s, %s; width %lld -> %lld, height %lld -> %lld\n",
+               c.rounds, c.rounds == 1 ? "" : "s",
+               c.converged ? "converged" : "capped (geometry still moving)",
+               static_cast<long long>(c.width_before), static_cast<long long>(c.width_after),
+               static_cast<long long>(c.height_before), static_cast<long long>(c.height_after));
+  if (c.x_infeasible || c.y_infeasible) {
+    std::fprintf(stderr, "                best-effort skips:%s%s\n",
+                 c.x_infeasible ? " x" : "", c.y_infeasible ? " y" : "");
+  }
+  std::fprintf(stderr, "  %-6s %-6s %-6s %-12s %-8s %-9s %-6s %-8s %-8s\n", "round", "dW", "dH",
+               "constraints", "reused", "pops", "warm", "skipped", "ms");
+  for (const RoundStats& r : c.round_stats) {
+    const std::size_t discovered = r.partners_reswept + r.partners_reused;
+    char reused[16];
+    std::snprintf(reused, sizeof reused, "%.0f%%",
+                  discovered > 0
+                      ? 100.0 * static_cast<double>(r.partners_reused) /
+                            static_cast<double>(discovered)
+                      : 0.0);
+    char warm[8];
+    std::snprintf(warm, sizeof warm, "%c/%c", r.warm_x ? 'x' : '-', r.warm_y ? 'y' : '-');
+    char skipped[8];
+    std::snprintf(skipped, sizeof skipped, "%s%s", r.x_skipped ? "x" : "",
+                  r.y_skipped ? "y" : "");
+    std::fprintf(stderr, "  %-6d %-6lld %-6lld %-12zu %-8s %-9zu %-6s %-8s %-8.2f\n", r.round,
+                 static_cast<long long>(r.width_delta), static_cast<long long>(r.height_delta),
+                 r.constraints_emitted, reused, r.solve_pops, warm,
+                 skipped[0] != '\0' ? skipped : "-", r.wall_ms);
+  }
+}
 
 int usage() {
   std::cerr << kUsage;
@@ -50,6 +95,7 @@ int main(int argc, char** argv) {
   std::string out_svg;
   std::string top;
   bool stats = false;
+  bool compact_stats = false;
   for (int i = 4; i < argc; ++i) {
     if (std::strcmp(argv[i], "-o") == 0 && i + 1 < argc) {
       out_cif = argv[++i];
@@ -59,6 +105,8 @@ int main(int argc, char** argv) {
       top = argv[++i];
     } else if (std::strcmp(argv[i], "--stats") == 0) {
       stats = true;
+    } else if (std::strcmp(argv[i], "--compact-stats") == 0) {
+      compact_stats = true;
     } else {
       return usage();
     }
@@ -102,6 +150,7 @@ int main(int argc, char** argv) {
       rsg::write_svg_file(out_svg, *result.top);
       std::cout << "wrote " << out_svg << "\n";
     }
+    if (compact_stats) print_compact_stats(result);
     if (stats) {
       std::cerr << "top cell:       " << result.top->name() << "\n";
       std::cerr << "flat instances: " << result.top->flattened_instance_count() << "\n";

@@ -1,15 +1,20 @@
 #!/usr/bin/env sh
 # Builds every benchmark and runs the fast ones, emitting BENCH_smoke.json,
-# BENCH_compact_scaling.json and BENCH_leaf_scaling.json — the artifacts CI
-# uploads to grow the performance trajectory.
+# BENCH_compact_scaling.json, BENCH_leaf_scaling.json and
+# BENCH_xy_scaling.json — the artifacts CI uploads to grow the performance
+# trajectory. The xy point doubles as a regression tripwire: the job fails
+# if the incremental schedule is not at least as fast per post-first-round
+# iteration as the scratch schedule at the 10k-box size.
 #
-# Usage: scripts/bench_smoke.sh [build-dir] [smoke.json] [scaling.json] [leaf.json]
+# Usage: scripts/bench_smoke.sh [build-dir] [smoke.json] [scaling.json]
+#                               [leaf.json] [xy.json]
 set -eu
 
 BUILD_DIR="${1:-build}"
 OUT="${2:-BENCH_smoke.json}"
 SCALING_OUT="${3:-BENCH_compact_scaling.json}"
 LEAF_OUT="${4:-BENCH_leaf_scaling.json}"
+XY_OUT="${5:-BENCH_xy_scaling.json}"
 
 # Portable core count: nproc is not POSIX (absent on stock macOS).
 if command -v nproc >/dev/null 2>&1; then
@@ -51,11 +56,38 @@ run_bench bench_compact_scaling "$SCALING_OUT" '/(1000|10000)$'
 # The dense-vs-sparse LP sweep at the CI-sized library counts; the full
 # 2..32-cell trajectory (with the >= 10x headline at 32) needs a local run.
 run_bench bench_leaf_scaling "$LEAF_OUT" '/(2|4|8)$'
+# The scratch-vs-incremental x/y schedule at the 10k acceptance size.
+run_bench bench_xy_scaling "$XY_OUT" '/10000$'
+
+# Regression tripwire: the incremental schedule must never be SLOWER than
+# the scratch schedule per post-first-round iteration at the 10k size. The
+# local acceptance bar is >= 2x; CI only enforces >= 1.0x so shared-runner
+# noise cannot flake the job, but a real regression fails loudly.
+python3 - "$XY_OUT" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    data = json.load(f)
+post = {}
+for bench in data.get("benchmarks", []):
+    name = bench.get("name", "")
+    if name.endswith("/10000") and "post_round_ms" in bench:
+        post[name.split("/")[0]] = bench["post_round_ms"]
+scratch = post.get("BM_XyScheduleScratch")
+incremental = post.get("BM_XyScheduleIncremental")
+if scratch is None or incremental is None:
+    sys.exit("error: BENCH_xy_scaling.json is missing the 10k post_round_ms counters")
+speedup = scratch / incremental if incremental else float("inf")
+print(f"xy schedule 10k post-first-round: scratch {scratch:.2f} ms, "
+      f"incremental {incremental:.2f} ms, speedup {speedup:.2f}x")
+if speedup < 1.0:
+    sys.exit(f"error: incremental x/y schedule regressed below scratch ({speedup:.2f}x < 1.0x)")
+EOF
 
 # Every artifact CI uploads must exist and be non-empty — a silently
 # skipped benchmark must fail the job, not upload a hole in the trajectory.
 status=0
-for artifact in "$OUT" "$SCALING_OUT" "$LEAF_OUT"; do
+for artifact in "$OUT" "$SCALING_OUT" "$LEAF_OUT" "$XY_OUT"; do
   if [ ! -s "$artifact" ]; then
     echo "error: expected benchmark artifact '$artifact' was not produced" >&2
     status=1

@@ -59,6 +59,85 @@ Adjacency build_adjacency(const ConstraintSystem& system, KeyFn key) {
   return adj;
 }
 
+// Tight-chain verification for a warm-started leftmost solve. Any vector
+// satisfying every constraint bounds the least solution from above, so the
+// raised fixpoint F has F >= L. A variable is "supported" when its value is
+// witnessed by a tight chain from the anchors: value 0 (the implicit
+// X >= 0 floor), a tight origin constraint, or a tight constraint from a
+// supported variable. A supported value is <= the longest path from the
+// origin, i.e. <= L — so if every variable is supported, F == L exactly.
+bool verify_leftmost_support(const ConstraintSystem& system, const Adjacency& out) {
+  const std::vector<Constraint>& cs = system.constraints();
+  const std::size_t n = system.variable_count();
+  std::vector<char> supported(n, 0);
+  std::vector<std::size_t> stack;
+  std::size_t found = 0;
+  const auto mark = [&](std::size_t v) {
+    if (!supported[v]) {
+      supported[v] = 1;
+      ++found;
+      stack.push_back(v);
+    }
+  };
+  for (std::size_t v = 0; v < n; ++v) {
+    if (system.values[v] <= 0) mark(v);
+  }
+  for (const Constraint& c : cs) {
+    if (c.from >= 0) continue;
+    if (system.values[static_cast<std::size_t>(c.to)] == c.weight - pitch_term(system, c)) {
+      mark(static_cast<std::size_t>(c.to));
+    }
+  }
+  while (!stack.empty()) {
+    const std::size_t u = stack.back();
+    stack.pop_back();
+    for (std::size_t e = out.offsets[u]; e < out.offsets[u + 1]; ++e) {
+      const Constraint& c = cs[out.edges[e]];
+      const auto to = static_cast<std::size_t>(c.to);
+      if (!supported[to] &&
+          system.values[to] == system.values[u] + c.weight - pitch_term(system, c)) {
+        mark(to);
+      }
+    }
+  }
+  return found == n;
+}
+
+// The rightmost dual: any vector satisfying the constraints under the width
+// ceiling bounds the greatest solution from below, and a variable is
+// supported when its bound is witnessed by a tight chain to the ceiling.
+bool verify_rightmost_support(const ConstraintSystem& system, const Adjacency& in, Coord width,
+                              const std::vector<Coord>& upper_bounds) {
+  const std::vector<Constraint>& cs = system.constraints();
+  const std::size_t n = system.variable_count();
+  std::vector<char> supported(n, 0);
+  std::vector<std::size_t> stack;
+  std::size_t found = 0;
+  const auto mark = [&](std::size_t v) {
+    if (!supported[v]) {
+      supported[v] = 1;
+      ++found;
+      stack.push_back(v);
+    }
+  };
+  for (std::size_t v = 0; v < n; ++v) {
+    if (upper_bounds[v] >= width) mark(v);
+  }
+  while (!stack.empty()) {
+    const std::size_t u = stack.back();
+    stack.pop_back();
+    for (std::size_t e = in.offsets[u]; e < in.offsets[u + 1]; ++e) {
+      const Constraint& c = cs[in.edges[e]];
+      const auto from = static_cast<std::size_t>(c.from);
+      if (!supported[from] &&
+          upper_bounds[from] == upper_bounds[u] - c.weight + pitch_term(system, c)) {
+        mark(from);
+      }
+    }
+  }
+  return found == n;
+}
+
 }  // namespace
 
 SolveStats solve_leftmost(ConstraintSystem& system, EdgeOrder order) {
@@ -122,10 +201,10 @@ SolveStats solve_rightmost(ConstraintSystem& system, Coord width,
   throw Error("compaction constraints are infeasible (positive cycle)");
 }
 
-SolveStats solve_leftmost_worklist(ConstraintSystem& system) {
+SolveStats solve_leftmost_worklist(ConstraintSystem& system,
+                                   const std::vector<Coord>* warm_seed) {
   SolveStats stats;
   const std::size_t n = system.variable_count();
-  std::fill(system.values.begin(), system.values.end(), 0);
   const Adjacency out = build_adjacency(system, [](const Constraint& c) { return c.from; });
   const std::vector<Constraint>& cs = system.constraints();
 
@@ -133,8 +212,16 @@ SolveStats solve_leftmost_worklist(ConstraintSystem& system) {
   std::vector<char> in_queue(n, 0);
   // SPFA cycle detection: the k-th enqueue of a variable witnesses a path
   // of >= k edges; without a positive cycle every longest path is simple,
-  // so more than |V| enqueues means the constraints are infeasible.
+  // so more than |V| enqueues means the constraints are infeasible. The
+  // warm phase abandons to the cold path instead of throwing, so the
+  // established cold guard stays the single infeasibility verdict.
   std::vector<std::size_t> enqueues(n, 0);
+  bool abandon_warm = false;
+  bool warm_phase = false;
+  // A good seed needs at most a sparse cascade; more relaxations than
+  // variables means the seed was globally off, and finishing the raise
+  // just to fail verification would cost more than the cold solve saves.
+  const std::size_t warm_relax_budget = n;
   auto relax = [&](const Constraint& c) {
     const Coord from = c.from < 0 ? 0 : system.values[static_cast<std::size_t>(c.from)];
     const Coord bound = from + c.weight - pitch_term(system, c);
@@ -142,8 +229,16 @@ SolveStats solve_leftmost_worklist(ConstraintSystem& system) {
     if (system.values[to] < bound) {
       system.values[to] = bound;
       ++stats.relaxations;
+      if (warm_phase && stats.relaxations > warm_relax_budget) {
+        abandon_warm = true;
+        return;
+      }
       if (!in_queue[to]) {
         if (++enqueues[to] > n + 1) {
+          if (warm_phase) {
+            abandon_warm = true;
+            return;
+          }
           throw Error("compaction constraints are infeasible (positive cycle)");
         }
         in_queue[to] = 1;
@@ -151,6 +246,53 @@ SolveStats solve_leftmost_worklist(ConstraintSystem& system) {
       }
     }
   };
+  auto drain = [&] {
+    while (!queue.empty() && !abandon_warm) {
+      const std::size_t v = queue.front();
+      queue.pop_front();
+      in_queue[v] = 0;
+      ++stats.pops;
+      for (std::size_t e = out.offsets[v]; e < out.offsets[v + 1]; ++e) {
+        relax(cs[out.edges[e]]);
+      }
+    }
+  };
+
+  if (warm_seed != nullptr && warm_seed->size() == n && n > 0) {
+    // Warm phase: seed from the previous solution (clamped onto the X >= 0
+    // half-line), raise to a fixpoint, then verify the fixpoint is the
+    // least solution. One unsorted sweep finds the violated constraints;
+    // the worklist drains the cascade.
+    stats.warm_attempted = true;
+    warm_phase = true;
+    for (std::size_t v = 0; v < n; ++v) {
+      system.values[v] = std::max<Coord>(0, (*warm_seed)[v]);
+    }
+    const std::vector<Coord> seeded = system.values;
+    ++stats.passes;
+    for (const Constraint& c : cs) {
+      relax(c);
+      if (abandon_warm) break;
+    }
+    drain();
+    if (!abandon_warm && verify_leftmost_support(system, out)) {
+      stats.warm_accepted = true;
+      for (std::size_t v = 0; v < n; ++v) {
+        if (system.values[v] > 0 && system.values[v] == seeded[v]) ++stats.warm_pops_saved;
+      }
+      stats.converged = true;
+      return stats;
+    }
+    // Verification failed (the seed overshot the least solution somewhere)
+    // or the raise cascaded past the budget: rerun cold. Exactness first.
+    warm_phase = false;
+    abandon_warm = false;
+    queue.clear();
+    std::fill(in_queue.begin(), in_queue.end(), 0);
+    std::fill(enqueues.begin(), enqueues.end(), 0);
+  }
+
+  std::fill(system.values.begin(), system.values.end(), 0);
 
   // Seeding sweep: every constraint once, sorted by the source's initial
   // abscissa — §6.4.2's observation makes this nearly converge when the
@@ -158,25 +300,16 @@ SolveStats solve_leftmost_worklist(ConstraintSystem& system) {
   // leftovers. Variables enqueued during the sweep are drained after it.
   ++stats.passes;
   for (const std::size_t e : edge_order(system, EdgeOrder::kSorted)) relax(cs[e]);
-
-  while (!queue.empty()) {
-    const std::size_t v = queue.front();
-    queue.pop_front();
-    in_queue[v] = 0;
-    ++stats.pops;
-    for (std::size_t e = out.offsets[v]; e < out.offsets[v + 1]; ++e) {
-      relax(cs[out.edges[e]]);
-    }
-  }
+  drain();
   stats.converged = true;
   return stats;
 }
 
 SolveStats solve_rightmost_worklist(ConstraintSystem& system, Coord width,
-                                    std::vector<Coord>& upper_bounds) {
+                                    std::vector<Coord>& upper_bounds,
+                                    const std::vector<Coord>* warm_seed) {
   SolveStats stats;
   const std::size_t n = system.variable_count();
-  upper_bounds.assign(n, width);
   // The dual direction: lowering upper_bounds[c.to] can lower
   // upper_bounds[c.from], so the adjacency is keyed by the sink.
   const Adjacency in = build_adjacency(
@@ -186,6 +319,9 @@ SolveStats solve_rightmost_worklist(ConstraintSystem& system, Coord width,
   std::deque<std::size_t> queue;
   std::vector<char> in_queue(n, 0);
   std::vector<std::size_t> enqueues(n, 0);
+  bool abandon_warm = false;
+  bool warm_phase = false;
+  const std::size_t warm_relax_budget = n;
   auto relax = [&](const Constraint& c) {
     if (c.from < 0) return;  // anchors bound from below only
     const Coord bound =
@@ -194,8 +330,16 @@ SolveStats solve_rightmost_worklist(ConstraintSystem& system, Coord width,
     if (upper_bounds[from] > bound) {
       upper_bounds[from] = bound;
       ++stats.relaxations;
+      if (warm_phase && stats.relaxations > warm_relax_budget) {
+        abandon_warm = true;
+        return;
+      }
       if (!in_queue[from]) {
         if (++enqueues[from] > n + 1) {
+          if (warm_phase) {
+            abandon_warm = true;
+            return;
+          }
           throw Error("compaction constraints are infeasible (positive cycle)");
         }
         in_queue[from] = 1;
@@ -203,6 +347,50 @@ SolveStats solve_rightmost_worklist(ConstraintSystem& system, Coord width,
       }
     }
   };
+  auto drain = [&] {
+    while (!queue.empty() && !abandon_warm) {
+      const std::size_t v = queue.front();
+      queue.pop_front();
+      in_queue[v] = 0;
+      ++stats.pops;
+      for (std::size_t e = in.offsets[v]; e < in.offsets[v + 1]; ++e) {
+        relax(cs[in.edges[e]]);
+      }
+    }
+  };
+
+  if (warm_seed != nullptr && warm_seed->size() == n && n > 0) {
+    // Warm phase (dual): seed clamped under the width ceiling, lower to a
+    // fixpoint, verify greatest-ness by tight chains to the ceiling.
+    stats.warm_attempted = true;
+    warm_phase = true;
+    upper_bounds.resize(n);
+    for (std::size_t v = 0; v < n; ++v) {
+      upper_bounds[v] = std::min(width, (*warm_seed)[v]);
+    }
+    const std::vector<Coord> seeded = upper_bounds;
+    ++stats.passes;
+    for (const Constraint& c : cs) {
+      relax(c);
+      if (abandon_warm) break;
+    }
+    drain();
+    if (!abandon_warm && verify_rightmost_support(system, in, width, upper_bounds)) {
+      stats.warm_accepted = true;
+      for (std::size_t v = 0; v < n; ++v) {
+        if (upper_bounds[v] < width && upper_bounds[v] == seeded[v]) ++stats.warm_pops_saved;
+      }
+      stats.converged = true;
+      return stats;
+    }
+    warm_phase = false;
+    abandon_warm = false;
+    queue.clear();
+    std::fill(in_queue.begin(), in_queue.end(), 0);
+    std::fill(enqueues.begin(), enqueues.end(), 0);
+  }
+
+  upper_bounds.assign(n, width);
 
   // The dual seeding order: rightmost sinks first, so right-to-left chains
   // collapse in the one sweep.
@@ -213,16 +401,7 @@ SolveStats solve_rightmost_worklist(ConstraintSystem& system, Coord width,
     return system.initial(cs[i].to) > system.initial(cs[j].to);
   });
   for (const std::size_t e : seed) relax(cs[e]);
-
-  while (!queue.empty()) {
-    const std::size_t v = queue.front();
-    queue.pop_front();
-    in_queue[v] = 0;
-    ++stats.pops;
-    for (std::size_t e = in.offsets[v]; e < in.offsets[v + 1]; ++e) {
-      relax(cs[in.edges[e]]);
-    }
-  }
+  drain();
   stats.converged = true;
   return stats;
 }

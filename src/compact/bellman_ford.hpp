@@ -13,6 +13,8 @@
 // counts the passes both ways.
 #pragma once
 
+#include <vector>
+
 #include "compact/constraint_graph.hpp"
 
 namespace rsg::compact {
@@ -22,6 +24,16 @@ struct SolveStats {
   std::size_t relaxations = 0;    // individual successful tightenings
   std::size_t pops = 0;           // worklist solvers: variables dequeued
   bool converged = false;
+  // Warm start (the incremental x/y schedule seeds each round's solve from
+  // the previous round's coordinates). `warm_accepted` means the seeded
+  // fixpoint was verified as the exact least (greatest) solution;
+  // `warm_pops_saved` counts the variables whose seeded value survived to
+  // the solution — work a cold solve would have spent raising them from the
+  // source distance. A rejected warm start falls back to the cold path, so
+  // the returned values are always the exact extreme solution.
+  bool warm_attempted = false;
+  bool warm_accepted = false;
+  std::size_t warm_pops_saved = 0;
 };
 
 enum class EdgeOrder {
@@ -53,8 +65,20 @@ SolveStats solve_rightmost(ConstraintSystem& system, Coord width,
 // touching the whole edge list. The least (greatest) solution is unique,
 // so the values are identical to the pass-based solvers'; infeasible
 // systems throw the same rsg::Error.
-SolveStats solve_leftmost_worklist(ConstraintSystem& system);
+//
+// `warm_seed` (optional, size == variable_count) warm-starts the solve from
+// a previous solution instead of the source distance: the values are seeded
+// (clamped into the feasible half-line), raised (lowered) to a fixpoint by
+// the worklist, and the fixpoint is then VERIFIED as the least (greatest)
+// solution by walking tight constraints from the anchors — any solution is
+// an upper (lower) bound on the extreme solution, so tight-chain support
+// for every variable proves exactness. A seed that fails verification
+// falls back to the cold solve, so warm starting never changes the result,
+// only the work (SolveStats reports the outcome).
+SolveStats solve_leftmost_worklist(ConstraintSystem& system,
+                                   const std::vector<Coord>* warm_seed = nullptr);
 SolveStats solve_rightmost_worklist(ConstraintSystem& system, Coord width,
-                                    std::vector<Coord>& upper_bounds);
+                                    std::vector<Coord>& upper_bounds,
+                                    const std::vector<Coord>* warm_seed = nullptr);
 
 }  // namespace rsg::compact

@@ -50,6 +50,14 @@ class ConstraintSystem {
   std::size_t pitch_count() const { return pitch_initial_.size(); }
   std::size_t constraint_count() const { return constraints_.size(); }
 
+  // Incremental rebuilds (compact/incremental.hpp): drop the constraints
+  // but keep the variables — re-emitting into the same system skips the
+  // per-variable name allocation of a from-scratch build.
+  void clear_constraints() { constraints_.clear(); }
+  // Refresh a variable's initial abscissa to the current geometry (the
+  // §6.4.2 seeding order sorts by it).
+  void set_initial(int v, Coord x) { initial_[static_cast<std::size_t>(v)] = x; }
+
   const std::vector<Constraint>& constraints() const { return constraints_; }
   Coord initial(int v) const { return initial_[static_cast<std::size_t>(v)]; }
   Coord pitch_initial(int p) const { return pitch_initial_[static_cast<std::size_t>(p)]; }

@@ -7,9 +7,7 @@
 
 namespace rsg::compact {
 
-namespace {
-
-std::vector<LayerBox> transposed(const std::vector<LayerBox>& boxes) {
+std::vector<LayerBox> transposed_boxes(const std::vector<LayerBox>& boxes) {
   std::vector<LayerBox> out;
   out.reserve(boxes.size());
   for (const LayerBox& lb : boxes) {
@@ -18,12 +16,10 @@ std::vector<LayerBox> transposed(const std::vector<LayerBox>& boxes) {
   return out;
 }
 
-}  // namespace
-
 FlatResult compact_flat_y(const std::vector<LayerBox>& boxes, const CompactionRules& rules,
                           const FlatOptions& options, const std::vector<bool>& stretchable) {
-  FlatResult result = compact_flat(transposed(boxes), rules, options, stretchable);
-  result.boxes = transposed(result.boxes);
+  FlatResult result = compact_flat(transposed_boxes(boxes), rules, options, stretchable);
+  result.boxes = transposed_boxes(result.boxes);
   return result;
 }
 
@@ -42,13 +38,13 @@ XyResult compact_flat_xy(const std::vector<LayerBox>& boxes, const CompactionRul
   return result;
 }
 
-FlatResult compact_flat(const std::vector<LayerBox>& boxes, const CompactionRules& rules,
-                        const FlatOptions& options, const std::vector<bool>& stretchable) {
+std::vector<CompactionBox> normalized_compaction_boxes(const std::vector<LayerBox>& boxes,
+                                                       const FlatOptions& options,
+                                                       const std::vector<bool>& stretchable,
+                                                       Coord& width_before) {
   if (!stretchable.empty() && stretchable.size() != boxes.size()) {
     throw Error("compact_flat: stretchable mask size mismatch");
   }
-
-  FlatResult result;
   // Normalize: shift so the leftmost edge is at 0 (the anchor wall).
   Coord min_x = 0;
   Coord max_x = 0;
@@ -60,7 +56,7 @@ FlatResult compact_flat(const std::vector<LayerBox>& boxes, const CompactionRule
       max_x = std::max(max_x, lb.box.hi.x);
     }
   }
-  result.width_before = max_x - min_x;
+  width_before = max_x - min_x;
 
   std::vector<CompactionBox> cboxes;
   cboxes.reserve(boxes.size());
@@ -72,6 +68,14 @@ FlatResult compact_flat(const std::vector<LayerBox>& boxes, const CompactionRule
                      (!stretchable.empty() && stretchable[i]);
     cboxes.push_back(cb);
   }
+  return cboxes;
+}
+
+FlatResult compact_flat(const std::vector<LayerBox>& boxes, const CompactionRules& rules,
+                        const FlatOptions& options, const std::vector<bool>& stretchable) {
+  FlatResult result;
+  std::vector<CompactionBox> cboxes =
+      normalized_compaction_boxes(boxes, options, stretchable, result.width_before);
 
   BuilderOptions builder_options;
   builder_options.generator = options.naive_constraints ? ConstraintGenerator::kNaive

@@ -43,6 +43,20 @@ FlatResult compact_flat(const std::vector<LayerBox>& boxes, const CompactionRule
                         const FlatOptions& options = {},
                         const std::vector<bool>& stretchable = {});
 
+// The shared pass prologue of compact_flat and the incremental engine:
+// normalizes the geometry (leftmost edge to the anchor wall), records the
+// starting width, and builds the CompactionBox batch with the stretchable
+// marking applied. Kept in one place so the incremental engine's
+// byte-identical-to-compact_flat contract cannot drift.
+std::vector<CompactionBox> normalized_compaction_boxes(const std::vector<LayerBox>& boxes,
+                                                       const FlatOptions& options,
+                                                       const std::vector<bool>& stretchable,
+                                                       Coord& width_before);
+
+// Axis swap used by every y-by-transposition path (compact_flat_y, the
+// incremental engine, tests): [lo.y, lo.x, hi.y, hi.x] per box.
+std::vector<LayerBox> transposed_boxes(const std::vector<LayerBox>& boxes);
+
 // y compaction by transposition: swap axes, compact in x, swap back. The
 // thesis's compactor is one-dimensional (§6.3, "we will restrict ourselves
 // to one dimensional compaction in the x dimension"); alternating the two

@@ -155,7 +155,8 @@ LeafLpModel build_leaf_lp(const CellTable& cells, const InterfaceTable& interfac
   return model;
 }
 
-LeafResult solve_leaf_model(const LeafLpModel& model, LpMethod lp_method) {
+LeafResult solve_leaf_model(const LeafLpModel& model, LpMethod lp_method,
+                            LpPricing lp_pricing) {
   LeafResult result;
   result.original_pitches = model.original_pitches;
   result.pitch_y = model.pitch_y;
@@ -163,7 +164,7 @@ LeafResult solve_leaf_model(const LeafLpModel& model, LpMethod lp_method) {
   result.unfolded_variable_count = model.unfolded_variable_count;
   result.constraint_count = model.system.constraint_count();
 
-  const LpSolution solution = solve_lp(model.lp, lp_method);
+  const LpSolution solution = solve_lp(model.lp, lp_method, lp_pricing);
   result.lp_stats = solution.stats;
   if (!solution.feasible) throw Error("leaf compaction: constraint system infeasible");
   if (!solution.bounded) throw Error("leaf compaction: objective unbounded (missing anchors)");
@@ -207,10 +208,11 @@ LeafResult compact_leaf_cells(const CellTable& cells, const InterfaceTable& inte
                               const std::vector<std::string>& cell_names,
                               const std::vector<PitchSpec>& pitch_specs,
                               const CompactionRules& rules, double width_weight,
-                              const std::vector<Layer>& stretchable_layers, LpMethod lp_method) {
+                              const std::vector<Layer>& stretchable_layers, LpMethod lp_method,
+                              LpPricing lp_pricing) {
   return solve_leaf_model(build_leaf_lp(cells, interfaces, cell_names, pitch_specs, rules,
                                         width_weight, stretchable_layers),
-                          lp_method);
+                          lp_method, lp_pricing);
 }
 
 void make_compacted_library(const LeafResult& result, const std::vector<PitchSpec>& pitch_specs,

@@ -97,7 +97,8 @@ LeafLpModel build_leaf_lp(const CellTable& cells, const InterfaceTable& interfac
 // (relaxing pitches upward if rounding broke a constraint), and rebuilds
 // the per-cell geometry. Throws rsg::Error on infeasible systems.
 LeafResult solve_leaf_model(const LeafLpModel& model,
-                            LpMethod lp_method = LpMethod::kSparseRevised);
+                            LpMethod lp_method = LpMethod::kSparseRevised,
+                            LpPricing lp_pricing = LpPricing::kDantzig);
 
 // build_leaf_lp + solve_leaf_model.
 LeafResult compact_leaf_cells(const CellTable& cells, const InterfaceTable& interfaces,
@@ -105,7 +106,8 @@ LeafResult compact_leaf_cells(const CellTable& cells, const InterfaceTable& inte
                               const std::vector<PitchSpec>& pitch_specs,
                               const CompactionRules& rules, double width_weight = 1e-3,
                               const std::vector<Layer>& stretchable_layers = {},
-                              LpMethod lp_method = LpMethod::kSparseRevised);
+                              LpMethod lp_method = LpMethod::kSparseRevised,
+                              LpPricing lp_pricing = LpPricing::kDantzig);
 
 // Rebuilds a fresh cell table + interface table from a compaction result —
 // "after the compaction is completed, it is possible to build a new sample

@@ -474,47 +474,21 @@ void discover_layer_partners(int li, const std::vector<CompactionBox>& boxes,
   out.offsets[order.size()] = out.items.size();
 }
 
-// The shared sweep driver of Figure 6.7, parameterized over the profile
+// The pre-scaling reference driver, parameterized over the profile
 // implementation. Each profile layer contributes its visible partners
-// independently (serially here, one thread per layer in the parallel
-// variant); per box the contributions are concatenated, deduplicated and
-// sorted by box index before emission, so every configuration produces the
-// identical constraint order.
+// independently; per box the contributions are concatenated, deduplicated
+// and sorted by box index before emission. The scaled path (shards, below)
+// must reproduce this constraint stream byte for byte.
 template <class ProfileT>
 void generate_constraints_impl(ConstraintSystem& system, const std::vector<CompactionBox>& boxes,
-                               const CompactionRules& rules, NetFinder& nets, int threads) {
+                               const CompactionRules& rules, NetFinder& nets) {
   add_width_and_anchor(system, boxes, rules);
-
-  // Sweep order: left edge, then right edge (stable for determinism).
-  std::vector<std::size_t> order(boxes.size());
-  std::iota(order.begin(), order.end(), 0);
-  std::stable_sort(order.begin(), order.end(), [&](std::size_t i, std::size_t j) {
-    const Box& a = boxes[i].geometry.box;
-    const Box& b = boxes[j].geometry.box;
-    return std::tuple(a.lo.x, a.hi.x) < std::tuple(b.lo.x, b.hi.x);
-  });
+  const std::vector<std::size_t> order = sweep_order(boxes);
 
   std::vector<PartnerList> per_layer(kNumLayers);
-  if (threads > 1) {
-    // One task per thread, layers strided across tasks, so the requested
-    // thread count really bounds the concurrency.
-    const int tasks = std::min(threads, kNumLayers);
-    std::vector<std::future<void>> pending;
-    pending.reserve(static_cast<std::size_t>(tasks));
-    for (int t = 0; t < tasks; ++t) {
-      pending.push_back(std::async(std::launch::async, [&, t] {
-        for (int li = t; li < kNumLayers; li += tasks) {
-          discover_layer_partners<ProfileT>(li, boxes, order, rules,
-                                            per_layer[static_cast<std::size_t>(li)]);
-        }
-      }));
-    }
-    for (std::future<void>& f : pending) f.get();
-  } else {
-    for (int li = 0; li < kNumLayers; ++li) {
-      discover_layer_partners<ProfileT>(li, boxes, order, rules,
-                                        per_layer[static_cast<std::size_t>(li)]);
-    }
+  for (int li = 0; li < kNumLayers; ++li) {
+    discover_layer_partners<ProfileT>(li, boxes, order, rules,
+                                      per_layer[static_cast<std::size_t>(li)]);
   }
 
   // Deterministic merge: per sweep position, gather every layer's partners
@@ -551,27 +525,195 @@ void add_box_variables(ConstraintSystem& system, std::vector<CompactionBox>& box
   }
 }
 
+std::vector<Coord> band_cuts(const std::vector<CompactionBox>& boxes, int bands) {
+  // Sentinels away from the extremes so window arithmetic cannot overflow
+  // the clip comparisons.
+  constexpr Coord kLo = std::numeric_limits<Coord>::lowest() / 2;
+  constexpr Coord kHi = std::numeric_limits<Coord>::max() / 2;
+  std::vector<Coord> cuts{kLo};
+  if (bands > 1 && !boxes.empty()) {
+    std::vector<Coord> ys;
+    ys.reserve(boxes.size());
+    for (const CompactionBox& cb : boxes) ys.push_back(cb.geometry.box.lo.y);
+    std::sort(ys.begin(), ys.end());
+    for (int k = 1; k < bands; ++k) {
+      const Coord cut =
+          ys[ys.size() * static_cast<std::size_t>(k) / static_cast<std::size_t>(bands)];
+      if (cut > cuts.back()) cuts.push_back(cut);
+    }
+  }
+  cuts.push_back(kHi);
+  return cuts;
+}
+
+int resolve_sweep_threads(int threads) {
+  if (threads <= 0) threads = static_cast<int>(std::thread::hardware_concurrency());
+  return std::max(threads, 1);
+}
+
+void sweep_shards(const std::vector<CompactionBox>& boxes, const std::vector<std::size_t>& order,
+                  const CompactionRules& rules, const std::vector<Coord>& cuts,
+                  const std::vector<std::size_t>& shard_indices, std::vector<SweepShard>& shards,
+                  int threads) {
+  const std::size_t nb = cuts.size() - 1;
+  const auto run_one = [&](std::size_t s) {
+    const std::size_t li = s / nb;
+    const std::size_t b = s % nb;
+    sweep_layer_band(static_cast<int>(li), cuts[b], cuts[b + 1], boxes, order, rules, shards[s]);
+  };
+  const int tasks = std::min<int>(threads, static_cast<int>(shard_indices.size()));
+  if (tasks > 1) {
+    std::vector<std::future<void>> pending;
+    pending.reserve(static_cast<std::size_t>(tasks));
+    for (int t = 0; t < tasks; ++t) {
+      pending.push_back(std::async(std::launch::async, [&, t] {
+        for (std::size_t k = static_cast<std::size_t>(t); k < shard_indices.size();
+             k += static_cast<std::size_t>(tasks)) {
+          run_one(shard_indices[k]);
+        }
+      }));
+    }
+    for (std::future<void>& f : pending) f.get();
+  } else {
+    for (const std::size_t s : shard_indices) run_one(s);
+  }
+}
+
+std::vector<std::size_t> sweep_order(const std::vector<CompactionBox>& boxes) {
+  // Sweep order: left edge, then right edge (stable for determinism).
+  std::vector<std::size_t> order(boxes.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t i, std::size_t j) {
+    const Box& a = boxes[i].geometry.box;
+    const Box& b = boxes[j].geometry.box;
+    return std::tuple(a.lo.x, a.hi.x) < std::tuple(b.lo.x, b.hi.x);
+  });
+  return order;
+}
+
+bool layer_window(const CompactionBox& box, int layer, const CompactionRules& rules, Coord& y0,
+                  Coord& y1) {
+  const Layer la = static_cast<Layer>(layer);
+  const Layer lb = box.geometry.layer;
+  const bool same = (la == lb);
+  if (!same && !rules.interacts(la, lb)) return false;
+  // Shadow margin: boxes within spacing distance in y still constrain.
+  const Coord margin =
+      same ? std::max<Coord>(rules.spacing(la, lb), 1) : rules.spacing(la, lb);
+  y0 = box.geometry.box.lo.y - margin;
+  y1 = box.geometry.box.hi.y + margin;
+  return true;
+}
+
+void sweep_layer_band(int layer, Coord y0, Coord y1, const std::vector<CompactionBox>& boxes,
+                      const std::vector<std::size_t>& order, const CompactionRules& rules,
+                      SweepShard& out) {
+  out.query_boxes.clear();
+  out.run_offsets.assign(1, 0);
+  out.partners.clear();
+  const Layer la = static_cast<Layer>(layer);
+  OrderedProfile profile;
+  for (const std::size_t ib : order) {
+    const CompactionBox& b = boxes[ib];
+    Coord q0 = 0;
+    Coord q1 = 0;
+    if (layer_window(b, layer, rules, q0, q1)) {
+      const Coord c0 = std::max(q0, y0);
+      const Coord c1 = std::min(q1, y1);
+      if (c0 < c1) {
+        const std::size_t before = out.partners.size();
+        profile.query(c0, c1, out.partners);
+        if (out.partners.size() > before) {
+          out.query_boxes.push_back(ib);
+          out.run_offsets.push_back(out.partners.size());
+        }
+      }
+    }
+    if (b.geometry.layer == la) {
+      const Coord m0 = std::max(b.geometry.box.lo.y, y0);
+      const Coord m1 = std::min(b.geometry.box.hi.y, y1);
+      if (m0 < m1) profile.insert(m0, m1, ib, boxes);
+    }
+  }
+}
+
+void emit_constraints_from_shards(ConstraintSystem& system,
+                                  const std::vector<CompactionBox>& boxes,
+                                  const std::vector<std::size_t>& order,
+                                  const CompactionRules& rules,
+                                  const std::vector<const SweepShard*>& shards) {
+  NetFinder nets(boxes, NetFinder::Strategy::kSweep);
+  add_width_and_anchor(system, boxes, rules);
+
+  // Scatter the shard runs into one partner CSR keyed by box index. The
+  // scatter order across shards is irrelevant: the per-box merge sorts and
+  // deduplicates, which is what pins the emitted stream.
+  const std::size_t n = boxes.size();
+  std::vector<std::size_t> counts(n + 1, 0);
+  for (const SweepShard* shard : shards) {
+    for (std::size_t r = 0; r < shard->query_boxes.size(); ++r) {
+      counts[shard->query_boxes[r] + 1] += shard->run_offsets[r + 1] - shard->run_offsets[r];
+    }
+  }
+  for (std::size_t v = 0; v < n; ++v) counts[v + 1] += counts[v];
+  std::vector<std::size_t> merged(counts[n]);
+  std::vector<std::size_t> cursor(counts.begin(), counts.end() - 1);
+  for (const SweepShard* shard : shards) {
+    for (std::size_t r = 0; r < shard->query_boxes.size(); ++r) {
+      const std::size_t box = shard->query_boxes[r];
+      for (std::size_t k = shard->run_offsets[r]; k < shard->run_offsets[r + 1]; ++k) {
+        merged[cursor[box]++] = shard->partners[k];
+      }
+    }
+  }
+
+  std::vector<std::size_t> seen;
+  for (const std::size_t ib : order) {
+    seen.assign(merged.begin() + static_cast<std::ptrdiff_t>(counts[ib]),
+                merged.begin() + static_cast<std::ptrdiff_t>(counts[ib + 1]));
+    std::sort(seen.begin(), seen.end());
+    seen.erase(std::unique(seen.begin(), seen.end()), seen.end());
+    for (const std::size_t ia : seen) {
+      if (ia != ib) emit_pair_constraint(system, boxes, ia, ib, rules, nets);
+    }
+  }
+}
+
+void generate_constraints_banded(ConstraintSystem& system,
+                                 const std::vector<CompactionBox>& boxes,
+                                 const CompactionRules& rules, int bands, int threads) {
+  threads = resolve_sweep_threads(threads);
+  const std::vector<std::size_t> order = sweep_order(boxes);
+  const std::vector<Coord> cuts = band_cuts(boxes, std::max(bands, 1));
+  std::vector<SweepShard> shards(static_cast<std::size_t>(kNumLayers) * (cuts.size() - 1));
+  std::vector<std::size_t> all(shards.size());
+  std::iota(all.begin(), all.end(), 0);
+  sweep_shards(boxes, order, rules, cuts, all, shards, threads);
+  std::vector<const SweepShard*> views;
+  views.reserve(shards.size());
+  for (const SweepShard& s : shards) views.push_back(&s);
+  emit_constraints_from_shards(system, boxes, order, rules, views);
+}
+
 void generate_constraints(ConstraintSystem& system, const std::vector<CompactionBox>& boxes,
                           const CompactionRules& rules) {
-  NetFinder nets(boxes, NetFinder::Strategy::kSweep);
-  generate_constraints_impl<OrderedProfile>(system, boxes, rules, nets, /*threads=*/1);
+  generate_constraints_banded(system, boxes, rules, /*bands=*/1, /*threads=*/1);
 }
 
 void generate_constraints_parallel(ConstraintSystem& system,
                                    const std::vector<CompactionBox>& boxes,
                                    const CompactionRules& rules, int threads) {
-  if (threads <= 0) {
-    threads = static_cast<int>(std::thread::hardware_concurrency());
-  }
-  NetFinder nets(boxes, NetFinder::Strategy::kSweep);
-  generate_constraints_impl<OrderedProfile>(system, boxes, rules, nets, std::max(threads, 1));
+  threads = resolve_sweep_threads(threads);
+  // Band count follows the thread count: layers * threads shards strided
+  // over `threads` tasks keeps every worker busy past the per-layer limit.
+  generate_constraints_banded(system, boxes, rules, /*bands=*/threads, threads);
 }
 
 void generate_constraints_reference(ConstraintSystem& system,
                                     const std::vector<CompactionBox>& boxes,
                                     const CompactionRules& rules) {
   NetFinder nets(boxes, NetFinder::Strategy::kQuadratic);
-  generate_constraints_impl<LinearProfile>(system, boxes, rules, nets, /*threads=*/1);
+  generate_constraints_impl<LinearProfile>(system, boxes, rules, nets);
 }
 
 void generate_constraints_naive(ConstraintSystem& system,

@@ -48,15 +48,89 @@ void add_box_variables(ConstraintSystem& system, std::vector<CompactionBox>& box
 void generate_constraints(ConstraintSystem& system, const std::vector<CompactionBox>& boxes,
                           const CompactionRules& rules);
 
-// The parallel variant: each layer's visibility sweep runs on its own
-// std::async task (a box lives in exactly one layer's profile, so the
-// sweeps are independent), and the per-layer partner lists are merged back
-// in sweep order — the emitted constraint stream is byte-identical to
-// generate_constraints. `threads` <= 0 means one per hardware core; 1 runs
-// the same code serially.
+// The parallel variant: the sweep is band-sharded (see below) with the
+// band count following `threads`, shards run as independent std::async
+// tasks, and the partner lists are merged back in sweep order — the
+// emitted constraint stream is byte-identical to generate_constraints.
+// `threads` <= 0 means one per hardware core; 1 runs the same code
+// serially.
 void generate_constraints_parallel(ConstraintSystem& system,
                                    const std::vector<CompactionBox>& boxes,
                                    const CompactionRules& rules, int threads = 0);
+
+// --- band-sharded sweeps -------------------------------------------------
+//
+// The visibility profile is pointwise in y: what a viewer sees at height y
+// depends only on boxes whose y extent covers y. Partitioning the y axis
+// into bands therefore decomposes each layer's sweep into independent
+// shards — queries and inserts clipped to the band — whose partner sets
+// union back to exactly the full-layer sweep's. That is both the
+// parallelism unit beyond per-layer sharding and the reuse unit of the
+// incremental x/y schedule (compact/incremental.hpp): a shard whose
+// participating boxes did not move re-contributes its stored partner list
+// without being re-swept.
+
+// One (profile layer, y band) shard's contribution: partner runs keyed by
+// the querying box index (stable across rounds), in sweep order.
+struct SweepShard {
+  std::vector<std::size_t> query_boxes;  // boxes with >= 1 partner, sweep order
+  std::vector<std::size_t> run_offsets;  // size query_boxes.size() + 1
+  std::vector<std::size_t> partners;     // concatenated partner box indices
+};
+
+// Sorted cut list partitioning y into at most `bands` bands by box-count
+// quantiles: band k covers [cuts[k], cuts[k+1]); the first and last cut are
+// +-infinity sentinels so every window lands in a band.
+std::vector<Coord> band_cuts(const std::vector<CompactionBox>& boxes, int bands);
+
+// The thread-count convention every sweep path shares: <= 0 means one per
+// hardware core, and the result is always at least 1.
+int resolve_sweep_threads(int threads);
+
+// The sweep order every generator uses: left edge, then right edge, stable
+// on the box index.
+std::vector<std::size_t> sweep_order(const std::vector<CompactionBox>& boxes);
+
+// The y window box `box` opens onto profile layer `layer` (its y extent
+// grown by the §6.4.1 shadow margin), or false when the layers neither
+// match nor interact. This is the participation predicate shared by the
+// band sweep and the incremental engine's dirty detection: a box affects a
+// shard exactly when its window overlaps the band.
+bool layer_window(const CompactionBox& box, int layer, const CompactionRules& rules, Coord& y0,
+                  Coord& y1);
+
+// Runs profile layer `layer`'s share of the Figure 6.7 sweep restricted to
+// the band [y0, y1): windows and profile extents are clipped to the band.
+void sweep_layer_band(int layer, Coord y0, Coord y1, const std::vector<CompactionBox>& boxes,
+                      const std::vector<std::size_t>& order, const CompactionRules& rules,
+                      SweepShard& out);
+
+// Runs the listed shard sweeps (layer-major indices: layer * bands + band
+// into `shards`) strided across `threads` std::async tasks. The banded
+// generator passes every index; the incremental engine passes only the
+// dirty ones.
+void sweep_shards(const std::vector<CompactionBox>& boxes, const std::vector<std::size_t>& order,
+                  const CompactionRules& rules, const std::vector<Coord>& cuts,
+                  const std::vector<std::size_t>& shard_indices, std::vector<SweepShard>& shards,
+                  int threads);
+
+// Emits the width/anchor constraints, then the pair constraints merged
+// from the shard partner lists: per box in sweep order the partners are
+// gathered, sorted and deduplicated — exactly the generate_constraints
+// emission, so any shard partition of the same geometry produces the
+// byte-identical constraint stream.
+void emit_constraints_from_shards(ConstraintSystem& system,
+                                  const std::vector<CompactionBox>& boxes,
+                                  const std::vector<std::size_t>& order,
+                                  const CompactionRules& rules,
+                                  const std::vector<const SweepShard*>& shards);
+
+// The band-sharded generator: `bands` y bands per layer, shards run on
+// `threads` std::async tasks (<= 0 means one per hardware core). Byte-
+// identical to generate_constraints for every band count.
+void generate_constraints_banded(ConstraintSystem& system,
+                                 const std::vector<CompactionBox>& boxes,
+                                 const CompactionRules& rules, int bands, int threads = 1);
 
 // The pre-scaling reference: all-pairs net discovery (O(n^2)) and a
 // linear-scan profile (O(n) per query/insert). Kept selectable so the

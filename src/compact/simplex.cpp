@@ -214,11 +214,13 @@ class Tableau {
 
 }  // namespace
 
-LpSolution solve_lp(const LpProblem& problem, LpMethod method) {
+LpSolution solve_lp(const LpProblem& problem, LpMethod method, LpPricing pricing) {
   if (static_cast<int>(problem.objective.size()) != problem.num_vars) {
     throw Error("simplex: objective size does not match variable count");
   }
-  if (method == LpMethod::kSparseRevised) return detail::solve_lp_sparse(problem);
+  if (method == LpMethod::kSparseRevised) return detail::solve_lp_sparse(problem, pricing);
+  // The dense tableau is the equivalence baseline: it always prices
+  // Dantzig, whatever `pricing` asks for.
 
   LpSolution solution;
   Tableau tableau(problem);

@@ -54,8 +54,10 @@ struct Eta {
 
 class RevisedSimplex {
  public:
-  explicit RevisedSimplex(const LpProblem& problem)
-      : m_(static_cast<int>(problem.constraints.size())), n_(problem.num_vars) {
+  explicit RevisedSimplex(const LpProblem& problem, LpPricing pricing)
+      : pricing_(pricing),
+        m_(static_cast<int>(problem.constraints.size())),
+        n_(problem.num_vars) {
     // Row normalization: rows with negative rhs are negated so the initial
     // rhs is nonnegative; those rows carry an artificial (their negated
     // slack cannot be basic at a feasible value).
@@ -352,6 +354,9 @@ class RevisedSimplex {
       if (v < 0.0 && v > -kFeasEps) v = 0.0;
     }
     pivots_since_refactor_ = 0;
+    // Devex reference framework reset: the fresh factorization is the new
+    // reference basis, so every weight restarts at 1.
+    if (!devex_w_.empty()) std::fill(devex_w_.begin(), devex_w_.end(), 1.0);
   }
 
   // --- the simplex loop ----------------------------------------------------
@@ -359,6 +364,10 @@ class RevisedSimplex {
   bool minimize(const std::vector<double>& costs, bool allow_artificial, LpStats& stats) {
     int degenerate_streak = 0;
     bool bland = false;
+    const bool devex = pricing_ == LpPricing::kDevex;
+    // A fresh reference framework per phase: every weight restarts at 1
+    // relative to the phase's starting basis.
+    if (devex) devex_w_.assign(static_cast<std::size_t>(num_cols_), 1.0);
     for (int guard = 0; guard < 200000; ++guard) {
       // Pricing: y = c_B B^-1 (one BTRAN), then one pass over the columns.
       for (int i = 0; i < m_; ++i) {
@@ -369,12 +378,27 @@ class RevisedSimplex {
       const int priced_cols = allow_artificial ? num_cols_ : n_ + m_;
       int entering = -1;
       double most_negative = -kEps;
+      double best_score = 0.0;
       for (int j = 0; j < priced_cols; ++j) {
         if (in_basis_[static_cast<std::size_t>(j)]) continue;
         const double d = costs[static_cast<std::size_t>(j)] - dot_column(j, price_);
-        if (d >= (bland ? -kEps : most_negative)) continue;
+        if (d >= -kEps) continue;
+        if (bland) {
+          // Anti-cycling: the lowest eligible index, Dantzig/devex aside.
+          entering = j;
+          break;
+        }
+        if (devex) {
+          // Devex: steepest reduced cost in the reference framework.
+          const double score = d * d / devex_w_[static_cast<std::size_t>(j)];
+          if (score > best_score) {
+            best_score = score;
+            entering = j;
+          }
+          continue;
+        }
+        if (d >= most_negative) continue;
         entering = j;
-        if (bland) break;
         most_negative = d;
       }
       if (entering < 0) return true;  // optimal
@@ -401,6 +425,7 @@ class RevisedSimplex {
         return false;  // unbounded
       }
 
+      if (devex) update_devex_weights(entering, leaving, priced_cols);
       pivot(entering, leaving, best, stats);
       if (bland) ++stats.bland_pivots;
       if (best <= kEps) {
@@ -436,6 +461,36 @@ class RevisedSimplex {
     if (++pivots_since_refactor_ >= kRefactorInterval) refactorize(stats);
   }
 
+  // Reference-framework devex update (Harris): having chosen the entering
+  // column q (FTRANed in work_, pivot element a_rq at `leaving_row`), the
+  // new weight of every nonbasic column j is
+  //
+  //   w_j = max(w_j, (a_rj / a_rq)^2 * w_q)
+  //
+  // where a_rj is the pivot row — one extra BTRAN of a unit vector plus a
+  // pass over the stored nonzeros, the same cost shape as pricing. The
+  // leaving variable re-enters the nonbasic set with the transferred
+  // weight max(w_q / a_rq^2, 1). Called BEFORE pivot() so work_ and the
+  // basis still describe the pre-pivot state; price_ is free for the row.
+  void update_devex_weights(int entering, int leaving_row, int priced_cols) {
+    const double a_rq = work_[static_cast<std::size_t>(leaving_row)];
+    if (a_rq == 0.0) return;  // ratio test guarantees |a_rq| > kEps
+    const double transferred = devex_w_[static_cast<std::size_t>(entering)] / (a_rq * a_rq);
+    std::fill(price_.begin(), price_.end(), 0.0);
+    price_[static_cast<std::size_t>(leaving_row)] = 1.0;
+    btran(price_);  // price_ = row `leaving_row` of B^-1
+    for (int j = 0; j < priced_cols; ++j) {
+      if (in_basis_[static_cast<std::size_t>(j)] || j == entering) continue;
+      const double a_rj = dot_column(j, price_);
+      if (a_rj == 0.0) continue;
+      double& w = devex_w_[static_cast<std::size_t>(j)];
+      w = std::max(w, a_rj * a_rj * transferred);
+    }
+    devex_w_[static_cast<std::size_t>(basis_[static_cast<std::size_t>(leaving_row)])] =
+        std::max(transferred, 1.0);
+    devex_w_[static_cast<std::size_t>(entering)] = 1.0;
+  }
+
   // Drives every artificial still basic (necessarily at value 0 after a
   // feasible phase 1) out of the basis by a degenerate pivot on the lowest
   // eligible real column. Rows with no eligible column are redundant: the
@@ -457,6 +512,9 @@ class RevisedSimplex {
       }
     }
   }
+
+  LpPricing pricing_ = LpPricing::kDantzig;
+  std::vector<double> devex_w_;  // reference-framework weights, nonbasic cols
 
   int m_ = 0;
   int n_ = 0;
@@ -485,9 +543,9 @@ class RevisedSimplex {
 
 }  // namespace
 
-LpSolution solve_lp_sparse(const LpProblem& problem) {
+LpSolution solve_lp_sparse(const LpProblem& problem, LpPricing pricing) {
   LpSolution solution;
-  RevisedSimplex engine(problem);
+  RevisedSimplex engine(problem, pricing);
   engine.solve(problem, solution);
   return solution;
 }

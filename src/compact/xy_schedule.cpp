@@ -1,6 +1,8 @@
 #include "compact/xy_schedule.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <optional>
 #include <utility>
 
 #include "support/error.hpp"
@@ -41,25 +43,85 @@ XyScheduleResult compact_flat_schedule(const std::vector<LayerBox>& boxes,
   result.width_before = before.width;
   result.height_before = before.height;
 
+  // The incremental engine keeps per-axis band/warm state alive across the
+  // whole schedule; the scratch path rebuilds each pass (the equivalence
+  // baseline). The naive generator has no band structure.
+  std::optional<IncrementalCompactor> engine;
+  if (schedule.incremental && !options.naive_constraints) {
+    engine.emplace(rules, options, schedule.incremental_options, stretchable);
+  }
+
   // One axis pass under the best-effort policy: an infeasible constraint
   // system (rigid geometry violating its own spacing rules) keeps the
   // current geometry for this axis instead of propagating the error.
-  const auto run_pass = [&](bool y_axis, bool& infeasible) {
+  // Returns the FlatResult when the pass ran, nullopt when it was skipped.
+  const auto run_pass = [&](bool y_axis, bool& infeasible,
+                            bool& skipped) -> std::optional<FlatResult> {
     try {
-      FlatResult pass = y_axis ? compact_flat_y(result.boxes, rules, options, stretchable)
-                               : compact_flat(result.boxes, rules, options, stretchable);
+      FlatResult pass =
+          engine ? (y_axis ? engine->compact_y(result.boxes) : engine->compact_x(result.boxes))
+                 : (y_axis ? compact_flat_y(result.boxes, rules, options, stretchable)
+                           : compact_flat(result.boxes, rules, options, stretchable));
       result.boxes = std::move(pass.boxes);
+      return pass;
+    } catch (const IncrementalDivergence&) {
+      // An engine bug, not an infeasible layout: the byte-identity check
+      // mode must fail loudly even under best effort.
+      throw;
     } catch (const Error&) {
       if (!schedule.best_effort) throw;
       infeasible = true;
+      skipped = true;
+      return std::nullopt;
     }
   };
 
+  using Clock = std::chrono::steady_clock;
   for (int round = 0; round < schedule.max_rounds; ++round) {
     const std::vector<LayerBox> previous = result.boxes;
-    run_pass(/*y_axis=*/false, result.x_infeasible);
-    run_pass(/*y_axis=*/true, result.y_infeasible);
+    RoundStats stats;
+    stats.round = round + 1;
+    const auto t0 = Clock::now();
+
+    const Extents pre_x = extents_of(result.boxes);
+    const std::optional<FlatResult> x_pass =
+        run_pass(/*y_axis=*/false, result.x_infeasible, stats.x_skipped);
+    const Extents pre_y = extents_of(result.boxes);
+    stats.width_delta = pre_x.width - pre_y.width;
+    const std::optional<FlatResult> y_pass =
+        run_pass(/*y_axis=*/true, result.y_infeasible, stats.y_skipped);
+    stats.height_delta = pre_y.height - extents_of(result.boxes).height;
+
+    if (x_pass) {
+      stats.constraints_emitted += x_pass->constraint_count;
+      stats.solve_pops += x_pass->solve.pops;
+      stats.warm_x = x_pass->solve.warm_accepted;
+    }
+    if (y_pass) {
+      stats.constraints_emitted += y_pass->constraint_count;
+      stats.solve_pops += y_pass->solve.pops;
+      stats.warm_y = y_pass->solve.warm_accepted;
+    }
+    if (engine) {
+      if (x_pass || stats.x_skipped) {
+        stats.partners_reswept += engine->x_stats().partners_reswept;
+        stats.partners_reused += engine->x_stats().partners_reused;
+      }
+      if (y_pass || stats.y_skipped) {
+        stats.partners_reswept += engine->y_stats().partners_reswept;
+        stats.partners_reused += engine->y_stats().partners_reused;
+      }
+    }
+    stats.wall_ms = std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+    result.round_stats.push_back(std::move(stats));
     result.rounds = round + 1;
+
+    if (result.round_stats.back().x_skipped && result.round_stats.back().y_skipped) {
+      // Both axes infeasible: no pass can ever run again (the geometry is
+      // frozen), so looping to the cap would do nothing — terminate early
+      // and do NOT claim convergence.
+      break;
+    }
     if (result.boxes == previous) {
       result.converged = true;
       if (schedule.stop_when_converged) break;

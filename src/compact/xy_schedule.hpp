@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "compact/flat_compactor.hpp"
+#include "compact/incremental.hpp"
 
 namespace rsg::compact {
 
@@ -27,8 +28,37 @@ struct XyScheduleOptions {
   // closer than the spacing table allows) make a pass's constraint system
   // infeasible. Best effort skips that axis for the round instead of
   // throwing — the generator pipeline uses this so any layout may request
-  // compaction — and records the skip in the result.
+  // compaction — and records the skip in the result. A round where BOTH
+  // axes are infeasible cannot make progress and terminates the schedule
+  // early with converged = false.
   bool best_effort = false;
+  // Run the rounds through the incremental engine (compact/incremental.hpp):
+  // clean-band constraint slices are spliced instead of re-swept and the
+  // solves warm-start from the previous round's coordinates. Byte-identical
+  // to the scratch schedule; disable to rebuild every pass from scratch
+  // (the equivalence baseline the benchmarks measure against). The naive
+  // generator has no band structure, so naive_constraints always takes the
+  // scratch path.
+  bool incremental = true;
+  IncrementalOptions incremental_options;
+};
+
+// Per-round telemetry: what each axis pass did and what it cost. This is
+// what makes a converged schedule distinguishable from a capped one from
+// the outside (rsg_cli --compact-stats prints it).
+struct RoundStats {
+  int round = 0;                // 1-based
+  Coord width_delta = 0;        // width reclaimed by this round's x pass
+  Coord height_delta = 0;       // height reclaimed by this round's y pass
+  bool x_skipped = false;       // best effort: the axis was infeasible
+  bool y_skipped = false;
+  std::size_t constraints_emitted = 0;  // both passes
+  std::size_t partners_reswept = 0;     // incremental: regenerated partner entries
+  std::size_t partners_reused = 0;      //   spliced from clean bands
+  std::size_t solve_pops = 0;           // worklist dequeues, both passes
+  bool warm_x = false;                  // warm start verified exact for the axis
+  bool warm_y = false;
+  double wall_ms = 0.0;
 };
 
 struct XyScheduleResult {
@@ -41,6 +71,7 @@ struct XyScheduleResult {
   bool converged = false;   // a round left the geometry unchanged
   bool x_infeasible = false;  // best effort: some x pass was skipped
   bool y_infeasible = false;  // best effort: some y pass was skipped
+  std::vector<RoundStats> round_stats;  // one entry per round run
 };
 
 XyScheduleResult compact_flat_schedule(const std::vector<LayerBox>& boxes,

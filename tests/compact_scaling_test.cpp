@@ -112,6 +112,27 @@ TEST(CompactScaling, ParallelGenerationMatchesSerialByteForByte) {
   }
 }
 
+TEST(CompactScaling, BandShardedGenerationMatchesSerialByteForByte) {
+  // The band-sharded sweep (the incremental engine's reuse unit) must emit
+  // the byte-identical constraint stream for ANY band partition: queries
+  // and profile extents are clipped to each band, and the per-box merge
+  // unions the shards back to the full-layer partner sets.
+  std::uint32_t seed = 0;
+  for (const SynthField& field : property_fields()) {
+    ConstraintSystem serial;
+    const std::vector<CompactionBox> serial_boxes = to_compaction_boxes(field, serial);
+    generate_constraints(serial, serial_boxes, CompactionRules::mosis());
+    for (const int bands : {2, 5, 16}) {
+      ConstraintSystem banded;
+      const std::vector<CompactionBox> banded_boxes = to_compaction_boxes(field, banded);
+      generate_constraints_banded(banded, banded_boxes, CompactionRules::mosis(), bands,
+                                  /*threads=*/3);
+      expect_identical_systems(banded, serial, seed);
+    }
+    ++seed;
+  }
+}
+
 TEST(CompactScaling, BuilderThreadsAreAThroughputKnobOnly) {
   // compact_flat with generation_threads forced past the parallel threshold
   // must reproduce the serial result exactly, rubber band included.
