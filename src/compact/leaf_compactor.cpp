@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "compact/flat_compactor.hpp"  // transposed_boxes
 #include "layout/flatten.hpp"
 #include "support/error.hpp"
 
@@ -118,15 +119,25 @@ LeafLpModel build_leaf_lp(const CellTable& cells, const InterfaceTable& interfac
 
   // LP: minimize Σ weight_s λ_s + width_weight Σ (R - L), subject to the
   // constraint system rewritten as  X_from - X_to - k λ <= -w  with all
-  // variables >= 0.
+  // variables >= 0. The width term is carried by one auxiliary column per
+  // box — W >= R - L with cost +width_weight — instead of the literal
+  // +R/-L cost pair: at any optimum W = R - L so the value is identical,
+  // but the objective stays COMPONENTWISE NONNEGATIVE, which is what makes
+  // the all-slack basis dual-feasible and lets the kSparseDual engine skip
+  // phase 1 outright (a -width_weight left-edge cost would force its
+  // artificial-bound fallback instead).
   model.lp = builder.to_lp();
   for (const std::string& name : cell_names) {
     const LeafCellVars& cv = model.cells.at(name);
     for (std::size_t b = 0; b < cv.boxes.size(); ++b) {
-      model.lp.objective[static_cast<std::size_t>(builder.edge_column(cv.right_vars[b]))] +=
-          width_weight;
-      model.lp.objective[static_cast<std::size_t>(builder.edge_column(cv.left_vars[b]))] -=
-          width_weight;
+      const int width_col = model.lp.num_vars++;
+      model.lp.objective.push_back(width_weight);
+      LpConstraint width;  // R - L - W <= 0
+      width.terms.emplace_back(builder.edge_column(cv.right_vars[b]), 1.0);
+      width.terms.emplace_back(builder.edge_column(cv.left_vars[b]), -1.0);
+      width.terms.emplace_back(width_col, -1.0);
+      width.rhs = 0.0;
+      model.lp.constraints.push_back(std::move(width));
     }
   }
   for (std::size_t s = 0; s < pitch_specs.size(); ++s) {
@@ -157,6 +168,10 @@ LeafLpModel build_leaf_lp(const CellTable& cells, const InterfaceTable& interfac
 
 LeafResult solve_leaf_model(const LeafLpModel& model, LpMethod lp_method,
                             LpPricing lp_pricing) {
+  return solve_leaf_model(model, LpOptions{lp_method, lp_pricing});
+}
+
+LeafResult solve_leaf_model(const LeafLpModel& model, const LpOptions& lp) {
   LeafResult result;
   result.original_pitches = model.original_pitches;
   result.pitch_y = model.pitch_y;
@@ -164,7 +179,7 @@ LeafResult solve_leaf_model(const LeafLpModel& model, LpMethod lp_method,
   result.unfolded_variable_count = model.unfolded_variable_count;
   result.constraint_count = model.system.constraint_count();
 
-  const LpSolution solution = solve_lp(model.lp, lp_method, lp_pricing);
+  const LpSolution solution = solve_lp(model.lp, lp);
   result.lp_stats = solution.stats;
   if (!solution.feasible) throw Error("leaf compaction: constraint system infeasible");
   if (!solution.bounded) throw Error("leaf compaction: objective unbounded (missing anchors)");
@@ -208,15 +223,73 @@ LeafResult compact_leaf_cells(const CellTable& cells, const InterfaceTable& inte
                               const std::vector<std::string>& cell_names,
                               const std::vector<PitchSpec>& pitch_specs,
                               const CompactionRules& rules, double width_weight,
-                              const std::vector<Layer>& stretchable_layers, LpMethod lp_method,
-                              LpPricing lp_pricing) {
+                              const std::vector<Layer>& stretchable_layers,
+                              const LpOptions& lp) {
   return solve_leaf_model(build_leaf_lp(cells, interfaces, cell_names, pitch_specs, rules,
                                         width_weight, stretchable_layers),
-                          lp_method, lp_pricing);
+                          lp);
+}
+
+LeafResult compact_leaf_cells(const CellTable& cells, const InterfaceTable& interfaces,
+                              const std::vector<std::string>& cell_names,
+                              const std::vector<PitchSpec>& pitch_specs,
+                              const CompactionRules& rules, double width_weight,
+                              const std::vector<Layer>& stretchable_layers, LpMethod lp_method,
+                              LpPricing lp_pricing) {
+  return compact_leaf_cells(cells, interfaces, cell_names, pitch_specs, rules, width_weight,
+                            stretchable_layers, LpOptions{lp_method, lp_pricing});
+}
+
+LeafResult compact_leaf_cells_y(const CellTable& cells, const InterfaceTable& interfaces,
+                                const std::vector<std::string>& cell_names,
+                                const std::vector<PitchSpec>& pitch_specs,
+                                const CompactionRules& rules, double width_weight,
+                                const std::vector<Layer>& stretchable_layers,
+                                const LpOptions& lp) {
+  // Transpose the library: every cell's flattened geometry axis-swapped,
+  // every spec'd interface's pitch vector component-swapped. The mirrored
+  // preconditions are checked HERE so the errors name the y axis instead
+  // of surfacing as confusing transposed-x complaints.
+  CellTable tcells;
+  for (const std::string& name : cell_names) {
+    const std::vector<LayerBox> flat = flatten_boxes(cells.get(name));
+    for (const LayerBox& lb : flat) {
+      if (lb.box.lo.y < 0) {
+        throw Error("leaf y-compaction: cell '" + name +
+                    "' has boxes at negative local y; shift the cell first");
+      }
+    }
+    Cell& tcell = tcells.create(name);
+    for (const LayerBox& lb : transposed_boxes(flat)) tcell.add_box(lb.layer, lb.box);
+  }
+  InterfaceTable tinterfaces;
+  for (const PitchSpec& spec : pitch_specs) {
+    const Interface iface = interfaces.get(spec.cell_a, spec.cell_b, spec.interface_index);
+    if (iface.vector.y <= 0) {
+      throw Error("leaf y-compaction requires a positive y pitch between '" + spec.cell_a +
+                  "' and '" + spec.cell_b + "'");
+    }
+    tinterfaces.declare(spec.cell_a, spec.cell_b, spec.interface_index,
+                        Interface{{iface.vector.y, iface.vector.x}, iface.orientation});
+  }
+
+  LeafResult result = compact_leaf_cells(tcells, tinterfaces, cell_names, pitch_specs, rules,
+                                         width_weight, stretchable_layers, lp);
+  // Transpose back: x in the solved frame is y in the caller's. The pitch
+  // bookkeeping already reads correctly — `pitches` carries the optimized
+  // (transposed-x = real-y) values, `pitch_y` the untouched x components.
+  for (auto& [name, boxes] : result.cells) boxes = transposed_boxes(boxes);
+  result.y_axis = true;
+  return result;
 }
 
 void make_compacted_library(const LeafResult& result, const std::vector<PitchSpec>& pitch_specs,
                             CellTable& out_cells, InterfaceTable& out_interfaces) {
+  if (result.y_axis) {
+    throw Error(
+        "make_compacted_library: result came from compact_leaf_cells_y — use "
+        "make_compacted_library_y (its pitch bookkeeping is axis-mirrored)");
+  }
   for (const auto& [name, boxes] : result.cells) {
     Cell& cell = out_cells.create(name);
     for (const LayerBox& lb : boxes) cell.add_box(lb.layer, lb.box);
@@ -225,6 +298,27 @@ void make_compacted_library(const LeafResult& result, const std::vector<PitchSpe
     const PitchSpec& spec = pitch_specs[s];
     out_interfaces.declare(spec.cell_a, spec.cell_b, spec.interface_index,
                            Interface{{result.pitches[s], result.pitch_y[s]},
+                                     Orientation::kNorth});
+  }
+}
+
+void make_compacted_library_y(const LeafResult& result, const std::vector<PitchSpec>& pitch_specs,
+                              CellTable& out_cells, InterfaceTable& out_interfaces) {
+  if (!result.y_axis) {
+    throw Error(
+        "make_compacted_library_y: result came from an x compaction — use "
+        "make_compacted_library");
+  }
+  for (const auto& [name, boxes] : result.cells) {
+    Cell& cell = out_cells.create(name);
+    for (const LayerBox& lb : boxes) cell.add_box(lb.layer, lb.box);
+  }
+  for (std::size_t s = 0; s < pitch_specs.size(); ++s) {
+    const PitchSpec& spec = pitch_specs[s];
+    // Mirrored bookkeeping: `pitches` are the optimized y values, `pitch_y`
+    // the untouched x components.
+    out_interfaces.declare(spec.cell_a, spec.cell_b, spec.interface_index,
+                           Interface{{result.pitch_y[s], result.pitches[s]},
                                      Orientation::kNorth});
   }
 }

@@ -22,7 +22,17 @@
 //
 // Restrictions (documented §6.3 scope): compaction is one-dimensional in x;
 // interfaces must be North-oriented with positive x pitch; leaf-cell boxes
-// must sit at non-negative local x.
+// must sit at non-negative local x. compact_leaf_cells_y lifts the
+// one-dimensionality the same way the flat path does — transpose the
+// library, compact in x, transpose back — with the mirrored restrictions
+// (positive y pitch, non-negative local y); compact/xy_schedule.hpp
+// alternates the two into a leaf-aware x/y round.
+//
+// The LP engine behind a solve is an LpOptions knob; the default is the
+// kSparseDual engine (the compaction objective is emitted componentwise
+// nonnegative precisely so the dual can skip phase 1), with the primal
+// engines selectable for baselines and the dense tableau for equivalence
+// pins.
 #pragma once
 
 #include <map>
@@ -61,6 +71,10 @@ struct LeafResult {
   std::size_t constraint_count = 0;
   double objective = 0.0;
   LpStats lp_stats;
+  // Set by compact_leaf_cells_y: `pitches` are then the optimized Y pitches
+  // and `pitch_y` the untouched x components. make_compacted_library and
+  // its _y twin check it, so a result cannot be rebuilt axis-swapped.
+  bool y_axis = false;
 };
 
 // One cell's shared edge variables and local geometry inside a LeafLpModel.
@@ -95,9 +109,11 @@ LeafLpModel build_leaf_lp(const CellTable& cells, const InterfaceTable& interfac
 
 // Solves the model with the selected LP engine, rounds to the integer grid
 // (relaxing pitches upward if rounding broke a constraint), and rebuilds
-// the per-cell geometry. Throws rsg::Error on infeasible systems.
-LeafResult solve_leaf_model(const LeafLpModel& model,
-                            LpMethod lp_method = LpMethod::kSparseRevised,
+// the per-cell geometry. Throws rsg::Error on infeasible systems. The
+// default engine is LpOptions{} = kSparseDual; the second overload keeps
+// the PR 3-era (method, pricing) call shape for the equivalence suites.
+LeafResult solve_leaf_model(const LeafLpModel& model, const LpOptions& lp = {});
+LeafResult solve_leaf_model(const LeafLpModel& model, LpMethod lp_method,
                             LpPricing lp_pricing = LpPricing::kDantzig);
 
 // build_leaf_lp + solve_leaf_model.
@@ -106,14 +122,37 @@ LeafResult compact_leaf_cells(const CellTable& cells, const InterfaceTable& inte
                               const std::vector<PitchSpec>& pitch_specs,
                               const CompactionRules& rules, double width_weight = 1e-3,
                               const std::vector<Layer>& stretchable_layers = {},
-                              LpMethod lp_method = LpMethod::kSparseRevised,
+                              const LpOptions& lp = {});
+LeafResult compact_leaf_cells(const CellTable& cells, const InterfaceTable& interfaces,
+                              const std::vector<std::string>& cell_names,
+                              const std::vector<PitchSpec>& pitch_specs,
+                              const CompactionRules& rules, double width_weight,
+                              const std::vector<Layer>& stretchable_layers, LpMethod lp_method,
                               LpPricing lp_pricing = LpPricing::kDantzig);
+
+// Leaf y-compaction by the flat path's transposition trick: transpose every
+// cell's geometry and every spec'd interface vector, run the x pipeline,
+// transpose back. Mirrored restrictions: interfaces need a POSITIVE Y
+// pitch and boxes non-negative local y. In the result, `pitches` are the
+// optimized y pitches and `pitch_y` carries each interface's untouched x
+// component (the exact mirror of the x path's bookkeeping).
+LeafResult compact_leaf_cells_y(const CellTable& cells, const InterfaceTable& interfaces,
+                                const std::vector<std::string>& cell_names,
+                                const std::vector<PitchSpec>& pitch_specs,
+                                const CompactionRules& rules, double width_weight = 1e-3,
+                                const std::vector<Layer>& stretchable_layers = {},
+                                const LpOptions& lp = {});
 
 // Rebuilds a fresh cell table + interface table from a compaction result —
 // "after the compaction is completed, it is possible to build a new sample
 // layout for the new technology ... from the new cell definitions of the
-// leaf cells and the new pitch parameters" (§6.3).
+// leaf cells and the new pitch parameters" (§6.3). Axis-checked: the plain
+// variant takes an x result, the _y variant a compact_leaf_cells_y result
+// (whose pitch bookkeeping is mirrored); feeding either the wrong axis
+// throws instead of silently declaring component-swapped interfaces.
 void make_compacted_library(const LeafResult& result, const std::vector<PitchSpec>& pitch_specs,
                             CellTable& out_cells, InterfaceTable& out_interfaces);
+void make_compacted_library_y(const LeafResult& result, const std::vector<PitchSpec>& pitch_specs,
+                              CellTable& out_cells, InterfaceTable& out_interfaces);
 
 }  // namespace rsg::compact

@@ -214,11 +214,16 @@ class Tableau {
 
 }  // namespace
 
+LpSolution solve_lp(const LpProblem& problem, const LpOptions& options) {
+  return solve_lp(problem, options.method, options.pricing);
+}
+
 LpSolution solve_lp(const LpProblem& problem, LpMethod method, LpPricing pricing) {
   if (static_cast<int>(problem.objective.size()) != problem.num_vars) {
     throw Error("simplex: objective size does not match variable count");
   }
   if (method == LpMethod::kSparseRevised) return detail::solve_lp_sparse(problem, pricing);
+  if (method == LpMethod::kSparseDual) return detail::solve_lp_sparse_dual(problem, pricing);
   // The dense tableau is the equivalence baseline: it always prices
   // Dantzig, whatever `pricing` asks for.
 
@@ -234,6 +239,9 @@ LpSolution solve_lp(const LpProblem& problem, LpMethod method, LpPricing pricing
     if (!tableau.minimize(phase1, solution.stats)) {
       throw Error("simplex: phase 1 unbounded (bug)");
     }
+    // Recorded before the feasibility verdict: an infeasible solve's
+    // pivots were all phase-1 work too.
+    solution.stats.phase1_pivots = solution.stats.iterations;
     if (!tableau.artificials_zero()) {
       solution.feasible = false;
       return solution;

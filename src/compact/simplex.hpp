@@ -19,6 +19,23 @@
 //                   entering column. Leaf-compaction systems have <= 3
 //                   nonzeros per row (two edges and a pitch), so each
 //                   iteration is O(m + nnz) instead of O(m^2).
+//   kSparseDual     the same CSC + eta-file machinery driven by the DUAL
+//                   simplex from the all-slack basis. A compaction
+//                   objective is (essentially) componentwise nonnegative,
+//                   so that basis is dual-feasible from the start and the
+//                   phase-1 walk — ~98 % of all primal pivots on the leaf
+//                   libraries, one per negative-rhs row — disappears
+//                   entirely: the dual iteration repairs primal
+//                   infeasibility directly while keeping optimality. The
+//                   leaving row is the most negative basic value, the
+//                   entering column comes from a dual ratio test over the
+//                   BTRANed pivot row with a bounded Harris-style
+//                   tolerance. Negative-cost columns (the -width_weight on
+//                   left edges) are boxed by one artificial bound row so
+//                   the start stays dual-feasible; if dual feasibility is
+//                   ever lost — numerically, by a tight artificial bound,
+//                   or by a stall — the engine falls back to the primal
+//                   kSparseRevised path and reports it in LpStats.
 //
 // The sparse engine prices with Dantzig's rule or devex (LpPricing):
 // devex weighs each reduced cost by an estimate of the entering column's
@@ -49,7 +66,8 @@ struct LpProblem {
 
 enum class LpMethod {
   kDenseTableau,   // the pre-scaling baseline
-  kSparseRevised,  // CSC + eta-file revised simplex (the default)
+  kSparseRevised,  // CSC + eta-file revised simplex (primal, two-phase)
+  kSparseDual,     // dual simplex from the all-slack basis: no phase 1
 };
 
 // Pricing rule of the sparse revised engine. The dense tableau is the
@@ -61,10 +79,29 @@ enum class LpPricing {
 };
 
 struct LpStats {
-  int iterations = 0;         // pivots across both phases
+  int iterations = 0;         // pivots, all phases and engines combined
   int degenerate_pivots = 0;  // pivots with (numerically) zero step
   int bland_pivots = 0;       // pivots taken under the anti-cycling fallback
-  int refactorizations = 0;   // sparse method: basis reinversions
+  int refactorizations = 0;   // sparse methods: basis reinversions
+  int phase1_pivots = 0;      // primal engines: pivots spent reaching feasibility
+  int dual_pivots = 0;        // kSparseDual: dual-iteration pivots (incl. the
+                              // bound-row initialization pivot, if any)
+  int dual_fallbacks = 0;     // kSparseDual: 1 when the dual declined and the
+                              // primal engine finished the solve
+
+  // Field-wise sum — the single merge point for the dual->primal fallback
+  // and the leaf schedule's per-pass accumulation, so a future counter
+  // cannot be threaded through one site and missed in the other.
+  LpStats& operator+=(const LpStats& other) {
+    iterations += other.iterations;
+    degenerate_pivots += other.degenerate_pivots;
+    bland_pivots += other.bland_pivots;
+    refactorizations += other.refactorizations;
+    phase1_pivots += other.phase1_pivots;
+    dual_pivots += other.dual_pivots;
+    dual_fallbacks += other.dual_fallbacks;
+    return *this;
+  }
 };
 
 struct LpSolution {
@@ -75,6 +112,16 @@ struct LpSolution {
   LpStats stats;
 };
 
+// Engine selection in one knob: which simplex runs and how it prices.
+// The default is the dual engine — on compaction LPs it skips phase 1
+// outright — with the primal engine as its documented fallback; `pricing`
+// applies to the primal engines (the dual selects rows, not columns).
+struct LpOptions {
+  LpMethod method = LpMethod::kSparseDual;
+  LpPricing pricing = LpPricing::kDantzig;
+};
+
+LpSolution solve_lp(const LpProblem& problem, const LpOptions& options);
 LpSolution solve_lp(const LpProblem& problem, LpMethod method = LpMethod::kSparseRevised,
                     LpPricing pricing = LpPricing::kDantzig);
 
@@ -86,6 +133,18 @@ inline constexpr int kDegeneratePivotStreak = 12;
 namespace detail {
 // The kSparseRevised engine (sparse_simplex.cpp). Call through solve_lp.
 LpSolution solve_lp_sparse(const LpProblem& problem, LpPricing pricing = LpPricing::kDantzig);
+
+// The kSparseDual engine (sparse_simplex.cpp). Call through solve_lp.
+// `pricing` is the pricing rule of the primal fallback.
+LpSolution solve_lp_sparse_dual(const LpProblem& problem,
+                                LpPricing pricing = LpPricing::kDantzig);
+
+// Reusable-LpSolution variants: `solution` may carry state from a previous
+// solve; its stats are reset at entry (NOT accumulated — pinned by
+// sparse_simplex_test) before the result is written over it.
+void solve_lp_sparse_into(const LpProblem& problem, LpPricing pricing, LpSolution& solution);
+void solve_lp_sparse_dual_into(const LpProblem& problem, LpPricing pricing,
+                               LpSolution& solution);
 }  // namespace detail
 
 }  // namespace rsg::compact

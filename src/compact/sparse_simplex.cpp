@@ -26,6 +26,20 @@
 // Anti-cycling matches the dense path: Dantzig pricing, with Bland's rule
 // after kDegeneratePivotStreak consecutive degenerate pivots, reverting on
 // the first pivot that makes progress.
+//
+// The same class also hosts the kSparseDual engine (solve_dual): the
+// all-slack basis — dual-feasible whenever the objective is componentwise
+// nonnegative — is iterated by the dual simplex, so the phase-1 walk of the
+// primal path never happens. Negative-cost columns (the leaf compactor's
+// -width_weight left edges) are covered by ONE artificial bound row
+// sum x_j <= M over exactly those columns; pivoting the most negative cost
+// into that row restores d_j = c_j - c_min >= 0 everywhere, making the
+// start dual-feasible after a single recorded pivot (Lemke's bounding
+// trick). The dual engine never proves anything it cannot certify: a lost
+// dual feasibility, a tight artificial bound, a vanishing pivot element or
+// an iteration stall all DECLINE the solve and hand the unchanged problem
+// to the primal engine (LpStats::dual_fallbacks).
+#include <algorithm>
 #include <cmath>
 #include <cstddef>
 #include <limits>
@@ -42,6 +56,22 @@ constexpr double kEps = 1e-9;
 constexpr double kPivotEps = 1e-11;
 constexpr double kFeasEps = 1e-7;
 constexpr int kRefactorInterval = 100;
+// Dual engine: the bounded Harris tolerance of the dual ratio test — pass 1
+// relaxes each candidate's reduced cost by this much to widen the pivot
+// choice, pass 2 takes the largest pivot element inside the widened set.
+constexpr double kHarrisTol = 1e-7;
+// Reduced costs below this during the dual scan mean dual feasibility was
+// lost (numerically) and the engine must decline to the primal path. A
+// Harris-widened pivot can legally dip a reduced cost by kHarrisTol, so
+// this sits one decade looser.
+constexpr double kDualFeasEps = 1e-6;
+// The artificial bound row's rhs is this multiple of (1 + max |rhs|): far
+// above any compaction optimum, small enough that doubles keep ~9 digits
+// of slack. The bound must be INACTIVE at the optimum for the dual's
+// answer to be the true one; anything closer than kDualBoundSlackFrac of M
+// declines to the primal engine.
+constexpr double kDualBoundScale = 1e6;
+constexpr double kDualBoundSlackFrac = 1e-2;
 
 // One elementary (eta) matrix: the identity with column `row` replaced by a
 // sparse vector whose entry at `row` is `pivot` and whose other nonzeros
@@ -54,31 +84,55 @@ struct Eta {
 
 class RevisedSimplex {
  public:
-  explicit RevisedSimplex(const LpProblem& problem, LpPricing pricing)
+  // `dual_start` selects the kSparseDual layout: no row normalization (the
+  // slack basis starts at x_B = b, negative entries and all), no
+  // artificials, and — when the objective has negative entries — one
+  // appended artificial bound row covering exactly those columns.
+  explicit RevisedSimplex(const LpProblem& problem, LpPricing pricing, bool dual_start = false)
       : pricing_(pricing),
+        dual_(dual_start),
         m_(static_cast<int>(problem.constraints.size())),
         n_(problem.num_vars) {
-    // Row normalization: rows with negative rhs are negated so the initial
-    // rhs is nonnegative; those rows carry an artificial (their negated
-    // slack cannot be basic at a feasible value).
+    // Row normalization (primal only): rows with negative rhs are negated
+    // so the initial rhs is nonnegative; those rows carry an artificial
+    // (their negated slack cannot be basic at a feasible value). The dual
+    // start keeps rows as-is — a negative basic value is exactly what its
+    // iteration repairs.
+    artificial_row_.clear();
+    std::vector<int> bound_cols;
+    double max_abs_rhs = 0.0;
+    for (const LpConstraint& c : problem.constraints) {
+      max_abs_rhs = std::max(max_abs_rhs, std::abs(c.rhs));
+    }
+    if (dual_) {
+      for (int j = 0; j < n_; ++j) {
+        if (problem.objective[static_cast<std::size_t>(j)] < -kEps) bound_cols.push_back(j);
+      }
+      if (!bound_cols.empty()) {
+        bound_row_ = m_;
+        bound_rhs_ = kDualBoundScale * (1.0 + max_abs_rhs);
+        m_ += 1;
+      }
+    }
     sign_.assign(static_cast<std::size_t>(m_), 1.0);
     b_.assign(static_cast<std::size_t>(m_), 0.0);
-    artificial_row_.clear();
-    for (int i = 0; i < m_; ++i) {
+    const int real_rows = static_cast<int>(problem.constraints.size());
+    for (int i = 0; i < real_rows; ++i) {
       const double rhs = problem.constraints[static_cast<std::size_t>(i)].rhs;
-      if (rhs < -kEps) {
+      if (!dual_ && rhs < -kEps) {
         sign_[static_cast<std::size_t>(i)] = -1.0;
         artificial_row_.push_back(i);
       }
       b_[static_cast<std::size_t>(i)] = sign_[static_cast<std::size_t>(i)] * rhs;
     }
+    if (bound_row_ >= 0) b_[static_cast<std::size_t>(bound_row_)] = bound_rhs_;
     num_artificial_ = static_cast<int>(artificial_row_.size());
     num_cols_ = n_ + m_ + num_artificial_;
 
     // CSC for the structural columns, with the row signs folded in.
     // Duplicate (row, var) terms are accumulated, matching the dense path.
     std::vector<std::vector<std::pair<int, double>>> cols(static_cast<std::size_t>(n_));
-    for (int i = 0; i < m_; ++i) {
+    for (int i = 0; i < real_rows; ++i) {
       const LpConstraint& c = problem.constraints[static_cast<std::size_t>(i)];
       for (const auto& [var, coeff] : c.terms) {
         if (var < 0 || var >= n_) throw Error("simplex: variable index out of range");
@@ -89,6 +143,11 @@ class RevisedSimplex {
           col.emplace_back(i, sign_[static_cast<std::size_t>(i)] * coeff);
         }
       }
+    }
+    // The artificial bound row sits below every real row, so appending its
+    // entries keeps each column's row indices sorted.
+    for (const int j : bound_cols) {
+      cols[static_cast<std::size_t>(j)].emplace_back(bound_row_, 1.0);
     }
     col_start_.assign(static_cast<std::size_t>(n_) + 1, 0);
     std::size_t nnz = 0;
@@ -125,14 +184,32 @@ class RevisedSimplex {
     price_.assign(static_cast<std::size_t>(m_), 0.0);
   }
 
-  // Runs both phases; fills `solution`.
+  // Resets every field of a (possibly reused) LpSolution to its
+  // default-constructed state, so no exit path can leak a previous solve's
+  // x / objective / flags — the _into API's contract.
+  static void reset(LpSolution& solution) {
+    solution.feasible = false;
+    solution.bounded = true;
+    solution.x.clear();
+    solution.objective = 0.0;
+    solution.stats = LpStats{};
+  }
+
+  // Runs both primal phases; fills `solution`. Entry resets the whole
+  // solution (stats included) so a reused LpSolution (or engine) never
+  // accumulates counters or carries stale fields across solves.
   void solve(const LpProblem& problem, LpSolution& solution) {
+    reset(solution);
     if (num_artificial_ > 0) {
       std::vector<double> phase1(static_cast<std::size_t>(num_cols_), 0.0);
       for (int j = n_ + m_; j < num_cols_; ++j) phase1[static_cast<std::size_t>(j)] = 1.0;
       if (!minimize(phase1, /*allow_artificial=*/false, solution.stats)) {
         throw Error("simplex: phase 1 unbounded (bug)");
       }
+      // Every pivot so far belongs to phase 1 — recorded BEFORE the
+      // feasibility verdict so an infeasible solve attributes its work
+      // correctly, then refreshed after the expel pivots.
+      solution.stats.phase1_pivots = solution.stats.iterations;
       double artificial_sum = 0.0;
       for (int i = 0; i < m_; ++i) {
         if (basis_[static_cast<std::size_t>(i)] >= n_ + m_) {
@@ -144,6 +221,7 @@ class RevisedSimplex {
         return;
       }
       expel_artificials(solution.stats);
+      solution.stats.phase1_pivots = solution.stats.iterations;
     }
 
     std::vector<double> phase2(static_cast<std::size_t>(num_cols_), 0.0);
@@ -155,7 +233,162 @@ class RevisedSimplex {
       solution.bounded = false;
       return;
     }
+    extract(problem, solution);
+  }
 
+  // The kSparseDual iteration. Returns true when `solution` is
+  // authoritative (optimal, or infeasibility certified without the
+  // artificial bound row in play); false when the engine DECLINES — dual
+  // feasibility lost, bound row tight at the optimum, vanishing pivot, or
+  // stall — and the caller must rerun the unchanged problem through the
+  // primal path. Stats are reset at entry either way; on decline they
+  // carry the dual pivots spent so the fallback can merge them.
+  bool solve_dual(const LpProblem& problem, LpSolution& solution) {
+    reset(solution);
+    std::vector<double> costs(static_cast<std::size_t>(num_cols_), 0.0);
+    for (int j = 0; j < n_; ++j) {
+      costs[static_cast<std::size_t>(j)] = problem.objective[static_cast<std::size_t>(j)];
+    }
+
+    // Bound-row initialization pivot: entering the most negative cost
+    // column q into the bound row makes d_j = c_j - c_q >= 0 for every
+    // covered column and leaves the rest at d_j = c_j >= 0 — one pivot and
+    // the whole basis is dual-feasible.
+    if (bound_row_ >= 0) {
+      int q = -1;
+      double most_negative = 0.0;
+      for (int j = 0; j < n_; ++j) {
+        const double c = costs[static_cast<std::size_t>(j)];
+        if (c < most_negative) {
+          most_negative = c;
+          q = j;
+        }
+      }
+      load_work(q);
+      ftran_work();  // B = I: the raw column, pivot element 1 at bound_row_
+      pivot(q, bound_row_, bound_rhs_, solution.stats);
+      ++solution.stats.dual_pivots;
+    }
+
+    int degenerate_streak = 0;
+    bool bland = false;
+    std::vector<double> row(static_cast<std::size_t>(m_), 0.0);  // e_r B^-1
+    struct Candidate {
+      int col;
+      double alpha;  // pivot-row entry, < 0
+      double ratio;  // d / -alpha
+    };
+    std::vector<Candidate> candidates;
+    for (int guard = 0; guard < 200000; ++guard) {
+      // Leaving row: most negative basic value (the dual analogue of
+      // Dantzig pricing); ties to the lowest basis index for determinism.
+      int r = -1;
+      double most_negative = -kFeasEps;
+      for (int i = 0; i < m_; ++i) {
+        const double v = x_basic_[static_cast<std::size_t>(i)];
+        if (v < most_negative - kEps ||
+            (v < most_negative + kEps && r >= 0 &&
+             basis_[static_cast<std::size_t>(i)] < basis_[static_cast<std::size_t>(r)])) {
+          most_negative = std::min(most_negative, v);
+          r = i;
+        }
+      }
+      if (r < 0) {
+        // Primal feasible + dual feasible = optimal — unless the
+        // artificial bound carried the optimum, in which case the answer
+        // belongs to the primal engine.
+        if (bound_row_ >= 0 && bound_is_tight()) return false;
+        solution.feasible = true;
+        solution.bounded = true;
+        extract(problem, solution);
+        return true;
+      }
+
+      // Duals y = c_B B^-1 and the BTRANed pivot row e_r B^-1.
+      for (int i = 0; i < m_; ++i) {
+        price_[static_cast<std::size_t>(i)] =
+            costs[static_cast<std::size_t>(basis_[static_cast<std::size_t>(i)])];
+      }
+      btran(price_);
+      std::fill(row.begin(), row.end(), 0.0);
+      row[static_cast<std::size_t>(r)] = 1.0;
+      btran(row);
+
+      // Dual ratio test, pass 1: collect candidates (alpha_j < 0), verify
+      // dual feasibility, and set the Harris-relaxed ratio bound.
+      candidates.clear();
+      double limit = std::numeric_limits<double>::infinity();
+      double exact_min = std::numeric_limits<double>::infinity();
+      for (int j = 0; j < n_ + m_; ++j) {
+        if (in_basis_[static_cast<std::size_t>(j)]) continue;
+        double d = costs[static_cast<std::size_t>(j)] - dot_column(j, price_);
+        if (d < -kDualFeasEps) return false;  // dual feasibility lost
+        if (d < 0.0) d = 0.0;
+        const double alpha = dot_column(j, row);
+        if (alpha >= -kEps) continue;
+        const double ratio = d / -alpha;
+        candidates.push_back({j, alpha, ratio});
+        limit = std::min(limit, (d + kHarrisTol) / -alpha);
+        exact_min = std::min(exact_min, ratio);
+      }
+      if (candidates.empty()) {
+        // The row certifies primal infeasibility (a dual ray) — but only
+        // the unaugmented problem's certificate is trustworthy: with the
+        // bound row in play the primal engine re-decides.
+        if (bound_row_ >= 0) return false;
+        solution.feasible = false;
+        return true;
+      }
+
+      // Pass 2: inside the Harris-widened set take the largest pivot
+      // element (numerical stability); under the anti-cycling fallback,
+      // the lowest column index inside the EXACT minimal-ratio set.
+      int entering = -1;
+      double best_alpha = 0.0;
+      for (const Candidate& c : candidates) {
+        if (bland) {
+          if (c.ratio <= exact_min + kEps &&
+              (entering < 0 || c.col < entering)) {
+            entering = c.col;
+          }
+          continue;
+        }
+        if (c.ratio <= limit && (entering < 0 || -c.alpha > best_alpha ||
+                                 (-c.alpha == best_alpha && c.col < entering))) {
+          entering = c.col;
+          best_alpha = -c.alpha;
+        }
+      }
+      const double theta = exact_min;  // the dual step length
+
+      load_work(entering);
+      ftran_work();
+      const double a_rq = work_[static_cast<std::size_t>(r)];
+      if (!(a_rq < -kPivotEps)) {
+        // The FTRANed pivot element disagrees with the BTRANed row badly
+        // enough to vanish or flip — numerical trouble; decline.
+        clear_work();
+        return false;
+      }
+      const double step = x_basic_[static_cast<std::size_t>(r)] / a_rq;  // >= 0
+      pivot(entering, r, step, solution.stats);
+      if (bland) ++solution.stats.bland_pivots;
+      ++solution.stats.dual_pivots;
+      if (theta <= kEps) {
+        ++solution.stats.degenerate_pivots;
+        if (++degenerate_streak >= kDegeneratePivotStreak) bland = true;
+      } else {
+        degenerate_streak = 0;
+        bland = false;
+      }
+    }
+    return false;  // stall: let the primal engine finish rather than throw
+  }
+
+ private:
+  // Rebuilds the structural solution vector and its objective value from
+  // the basic values (shared by the primal and dual exits).
+  void extract(const LpProblem& problem, LpSolution& solution) const {
     solution.feasible = true;
     solution.x.assign(static_cast<std::size_t>(n_), 0.0);
     for (int i = 0; i < m_; ++i) {
@@ -172,7 +405,22 @@ class RevisedSimplex {
     }
   }
 
- private:
+  // True when the artificial bound row constrains the reported optimum: its
+  // slack left the basis, or sits in it with suspiciously little room. A
+  // tight bound means the REAL problem wanted to push the covered columns
+  // further (often: it is unbounded), so the dual's answer is not the
+  // original problem's and the primal engine must re-decide.
+  bool bound_is_tight() const {
+    const int slack = n_ + bound_row_;
+    if (!in_basis_[static_cast<std::size_t>(slack)]) return true;
+    for (int i = 0; i < m_; ++i) {
+      if (basis_[static_cast<std::size_t>(i)] == slack) {
+        return x_basic_[static_cast<std::size_t>(i)] < kDualBoundSlackFrac * bound_rhs_;
+      }
+    }
+    return true;
+  }
+
   // --- column access -------------------------------------------------------
 
   // work_ is kept all-zero between uses; load/ftran record the rows they
@@ -516,6 +764,10 @@ class RevisedSimplex {
   LpPricing pricing_ = LpPricing::kDantzig;
   std::vector<double> devex_w_;  // reference-framework weights, nonbasic cols
 
+  bool dual_ = false;
+  int bound_row_ = -1;      // the artificial bound row, or -1 (dual only)
+  double bound_rhs_ = 0.0;  // its rhs M
+
   int m_ = 0;
   int n_ = 0;
   int num_artificial_ = 0;
@@ -543,10 +795,34 @@ class RevisedSimplex {
 
 }  // namespace
 
-LpSolution solve_lp_sparse(const LpProblem& problem, LpPricing pricing) {
-  LpSolution solution;
+void solve_lp_sparse_into(const LpProblem& problem, LpPricing pricing, LpSolution& solution) {
   RevisedSimplex engine(problem, pricing);
   engine.solve(problem, solution);
+}
+
+void solve_lp_sparse_dual_into(const LpProblem& problem, LpPricing pricing,
+                               LpSolution& solution) {
+  {
+    RevisedSimplex engine(problem, pricing, /*dual_start=*/true);
+    if (engine.solve_dual(problem, solution)) return;
+  }
+  // The dual declined: rerun the unchanged problem through the primal
+  // engine and fold the dual's spent pivots into the merged stats.
+  const LpStats dual_stats = solution.stats;
+  solve_lp_sparse_into(problem, pricing, solution);
+  solution.stats += dual_stats;
+  solution.stats.dual_fallbacks = 1;
+}
+
+LpSolution solve_lp_sparse(const LpProblem& problem, LpPricing pricing) {
+  LpSolution solution;
+  solve_lp_sparse_into(problem, pricing, solution);
+  return solution;
+}
+
+LpSolution solve_lp_sparse_dual(const LpProblem& problem, LpPricing pricing) {
+  LpSolution solution;
+  solve_lp_sparse_dual_into(problem, pricing, solution);
   return solution;
 }
 

@@ -181,4 +181,21 @@ SynthLeafLibrary make_leaf_library(int num_cells, int boxes_per_cell, std::uint3
   return lib;
 }
 
+SynthLeafLibrary make_leaf_library_2d(int num_cells, int boxes_per_cell, std::uint32_t seed) {
+  SynthLeafLibrary lib = make_leaf_library(num_cells, boxes_per_cell, seed);
+  // Row r sits at y = r * 20 with 4-tall boxes, so every cell is exactly
+  // this tall; the vertical pitch clears it by the same margin the
+  // horizontal chain uses (wider than any MOSIS spacing — a feasible
+  // witness again).
+  constexpr Coord kClearance = 8;
+  const Coord height = (static_cast<Coord>((boxes_per_cell + 1) / 2) - 1) * 20 + 4;
+  for (int c = 0; c < num_cells; ++c) {
+    const std::string& name = lib.cell_names[static_cast<std::size_t>(c)];
+    lib.interfaces.declare(name, name, 2,
+                           Interface{{0, height + kClearance}, Orientation::kNorth});
+    lib.pitch_specs.push_back({name, name, 2, 1.0 + c % 2});
+  }
+  return lib;
+}
+
 }  // namespace rsg::compact

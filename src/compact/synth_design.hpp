@@ -61,4 +61,10 @@ struct SynthLeafLibrary {
 
 SynthLeafLibrary make_leaf_library(int num_cells, int boxes_per_cell, std::uint32_t seed);
 
+// The two-dimensional variant: the same chained library plus one vertical
+// self-interface per cell (index 2, y pitch = cell height + clearance), so
+// the library tiles as a grid. The y-pitch specs exercise the transposed
+// leaf pipeline (compact_leaf_cells_y) and the x/y leaf schedule.
+SynthLeafLibrary make_leaf_library_2d(int num_cells, int boxes_per_cell, std::uint32_t seed);
+
 }  // namespace rsg::compact

@@ -158,6 +158,82 @@ TEST(Incremental, FullRebuildEscapeHatchStaysExact) {
   EXPECT_EQ(again.boxes, scratch.boxes);
 }
 
+TEST(Incremental, FullRebuildUnderByteIdentityCheckAcrossBothAxes) {
+  // The two escape hatches composed, over a moving multi-pass sequence on
+  // BOTH axes: full_rebuild must re-sweep every shard every pass (never
+  // splice), check_byte_identity must stay silent on correct state, and
+  // the geometry must equal the scratch compactors' exactly.
+  const SynthField field = make_random_field(11, 30);
+  IncrementalOptions inc;
+  inc.bands = 4;
+  inc.full_rebuild = true;
+  inc.check_byte_identity = true;
+  IncrementalCompactor engine(CompactionRules::mosis(), {}, inc, field.stretchable);
+  std::vector<LayerBox> boxes = field.boxes;
+  for (int pass = 0; pass < 3; ++pass) {
+    const FlatResult x = engine.compact_x(boxes);
+    EXPECT_EQ(engine.x_stats().shards_reswept, engine.x_stats().shards_total)
+        << "pass " << pass;
+    EXPECT_EQ(engine.x_stats().partners_reused, 0u) << "pass " << pass;
+    const FlatResult x_scratch = compact_flat(boxes, CompactionRules::mosis(), {},
+                                              field.stretchable);
+    ASSERT_EQ(x.boxes, x_scratch.boxes) << "pass " << pass;
+    const FlatResult y = engine.compact_y(x.boxes);
+    EXPECT_EQ(engine.y_stats().shards_reswept, engine.y_stats().shards_total)
+        << "pass " << pass;
+    EXPECT_EQ(engine.y_stats().partners_reused, 0u) << "pass " << pass;
+    const FlatResult y_scratch = compact_flat_y(x.boxes, CompactionRules::mosis(), {},
+                                                field.stretchable);
+    ASSERT_EQ(y.boxes, y_scratch.boxes) << "pass " << pass;
+    boxes = y.boxes;
+  }
+}
+
+TEST(Incremental, CheckByteIdentityThrowsOnCorruptedState) {
+  // The error path of the diagnostic mode, executed via fault injection
+  // (the engine is byte-identical by construction, so the only way to see
+  // the check FIRE is to corrupt its cached state): an all-clean pass
+  // reuses the corrupted cache, the scratch comparison diverges, and the
+  // distinct IncrementalDivergence type must come out — it is what lets
+  // the best-effort schedule treat an engine bug as fatal while still
+  // skipping genuinely infeasible axes.
+  const SynthField field = make_random_field(3, 20);
+  IncrementalOptions inc;
+  inc.bands = 4;
+  inc.check_byte_identity = true;
+  IncrementalCompactor engine(CompactionRules::mosis(), {}, inc, field.stretchable);
+  // No cached system before the first pass: the hook itself refuses.
+  EXPECT_THROW(engine.corrupt_cached_system_for_testing(false), Error);
+  // Converge each axis first — a pass is not idempotent in general (moved
+  // boxes change the visibility partners), and the cached system is only
+  // REUSED (the corruption therefore only visible) on an all-clean pass;
+  // moving geometry would re-emit over the corrupted cache and wash the
+  // fault away.
+  const auto converge = [&engine](std::vector<LayerBox> boxes, bool y_axis) {
+    for (int pass = 0; pass < 16; ++pass) {
+      const FlatResult result =
+          y_axis ? engine.compact_y(boxes) : engine.compact_x(boxes);
+      if (result.boxes == boxes) return boxes;
+      boxes = result.boxes;
+    }
+    ADD_FAILURE() << "axis did not converge";
+    return boxes;
+  };
+  const std::vector<LayerBox> x_fix = converge(field.boxes, /*y_axis=*/false);
+  engine.corrupt_cached_system_for_testing(false);
+  try {
+    engine.compact_x(x_fix);
+    FAIL() << "corrupted cache must not pass the byte-identity check";
+  } catch (const IncrementalDivergence&) {
+    // The specific type, not just rsg::Error — the schedule's rethrow
+    // logic keys on it.
+  }
+  // The y axis has its own cache and its own check.
+  const std::vector<LayerBox> y_fix = converge(x_fix, /*y_axis=*/true);
+  engine.corrupt_cached_system_for_testing(true);
+  EXPECT_THROW(engine.compact_y(y_fix), IncrementalDivergence);
+}
+
 TEST(Incremental, WarmStartMatchesColdForBothWorklistSolvers) {
   // Whatever the seed — the exact solution, garbage, or an overshoot that
   // fails verification — the warm-started solvers must return exactly the

@@ -17,9 +17,18 @@ class SimplexMethod : public ::testing::TestWithParam<LpMethod> {
 };
 
 INSTANTIATE_TEST_SUITE_P(Engines, SimplexMethod,
-                         ::testing::Values(LpMethod::kDenseTableau, LpMethod::kSparseRevised),
+                         ::testing::Values(LpMethod::kDenseTableau, LpMethod::kSparseRevised,
+                                           LpMethod::kSparseDual),
                          [](const ::testing::TestParamInfo<LpMethod>& info) {
-                           return info.param == LpMethod::kDenseTableau ? "Dense" : "Sparse";
+                           switch (info.param) {
+                             case LpMethod::kDenseTableau:
+                               return "Dense";
+                             case LpMethod::kSparseRevised:
+                               return "Sparse";
+                             case LpMethod::kSparseDual:
+                               return "SparseDual";
+                           }
+                           return "Unknown";
                          });
 
 TEST_P(SimplexMethod, TrivialMinimumAtOrigin) {
@@ -177,7 +186,10 @@ TEST_P(SimplexMethod, DegenerateTiesDoNotCycle) {
   ASSERT_TRUE(s.feasible);
   ASSERT_TRUE(s.bounded);
   EXPECT_NEAR(s.objective, -0.05, 1e-6);
-  EXPECT_GT(s.stats.degenerate_pivots, 0);
+  // The degenerate plateau is a primal phenomenon: the dual engine walks a
+  // different vertex sequence (and may fall back), so only the primal
+  // engines are pinned to visit it.
+  if (GetParam() != LpMethod::kSparseDual) EXPECT_GT(s.stats.degenerate_pivots, 0);
 }
 
 }  // namespace

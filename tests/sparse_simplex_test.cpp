@@ -100,6 +100,119 @@ TEST(SparseSimplex, DevexReducesPivotsOnHeterogeneousLps) {
   EXPECT_LT(devex_pivots, dantzig_pivots);
 }
 
+TEST(SparseSimplex, DualMatchesDenseBitForBitWithZeroPhaseOnePivots) {
+  // THE acceptance pin of the dual engine, on the exact libraries
+  // bench_leaf_scaling sweeps (seed 7, 8 boxes per cell): the compaction
+  // objective is emitted componentwise nonnegative, so the dual must run
+  // start to finish with NO phase-1 pivots, NO primal fallback, reach the
+  // BIT-IDENTICAL objective of the dense Dantzig tableau, and spend at
+  // most half the primal Dantzig pivot count.
+  for (const int num_cells : {16, 32}) {
+    const SynthLeafLibrary lib = make_leaf_library(num_cells, 8, 7);
+    const LeafLpModel model = build_leaf_lp(lib.cells, lib.interfaces, lib.cell_names,
+                                            lib.pitch_specs, CompactionRules::mosis());
+    const LpSolution dense = solve_lp(model.lp, LpMethod::kDenseTableau);
+    const LpSolution primal = solve_lp(model.lp, LpMethod::kSparseRevised);
+    const LpSolution dual = solve_lp(model.lp, LpMethod::kSparseDual);
+    ASSERT_TRUE(dense.feasible && dense.bounded) << num_cells << " cells";
+    ASSERT_TRUE(dual.feasible && dual.bounded) << num_cells << " cells";
+    EXPECT_EQ(dual.objective, dense.objective) << num_cells << " cells";
+    EXPECT_EQ(dual.stats.phase1_pivots, 0) << num_cells << " cells";
+    EXPECT_EQ(dual.stats.dual_fallbacks, 0) << num_cells << " cells";
+    EXPECT_EQ(dual.stats.dual_pivots, dual.stats.iterations) << num_cells << " cells";
+    EXPECT_GT(primal.stats.phase1_pivots, 0) << num_cells << " cells";
+    EXPECT_LE(2 * dual.stats.iterations, primal.stats.iterations) << num_cells << " cells";
+  }
+}
+
+TEST(SparseSimplex, DualMatchesDenseObjectiveOnSeededLeafLibraries) {
+  // The seeded-ensemble version of the pin: every library the primal
+  // equivalence test replays, solved by the dual engine — same objective,
+  // never a phase-1 pivot, never a fallback.
+  for (const std::uint32_t seed : {0u, 1u, 2u, 3u, 4u, 5u, 6u, 7u}) {
+    const int num_cells = 2 + static_cast<int>(seed % 4) * 2;
+    const SynthLeafLibrary lib = make_leaf_library(num_cells, 6, seed);
+    const LeafLpModel model = build_leaf_lp(lib.cells, lib.interfaces, lib.cell_names,
+                                            lib.pitch_specs, CompactionRules::mosis());
+    const LpSolution dense = solve_lp(model.lp, LpMethod::kDenseTableau);
+    const LpSolution dual = solve_lp(model.lp, LpMethod::kSparseDual);
+    ASSERT_TRUE(dense.feasible && dense.bounded) << "seed " << seed;
+    ASSERT_TRUE(dual.feasible && dual.bounded) << "seed " << seed;
+    EXPECT_NEAR(dual.objective, dense.objective, 1e-6 * (1.0 + std::abs(dense.objective)))
+        << "seed " << seed;
+    EXPECT_EQ(dual.stats.phase1_pivots, 0) << "seed " << seed;
+    EXPECT_EQ(dual.stats.dual_fallbacks, 0) << "seed " << seed;
+  }
+}
+
+TEST(SparseSimplex, DualFallsBackToPrimalOnItsOwnTerritory) {
+  // min -x with x unconstrained above: the artificial bound row caps the
+  // ray, the extended optimum rides the bound, and the engine must hand
+  // the problem to the primal path — which proves it unbounded — while
+  // recording the fallback.
+  LpProblem p;
+  p.num_vars = 1;
+  p.objective = {-1.0};
+  const LpSolution s = solve_lp(p, LpMethod::kSparseDual);
+  ASSERT_TRUE(s.feasible);
+  EXPECT_FALSE(s.bounded);
+  EXPECT_EQ(s.stats.dual_fallbacks, 1);
+  EXPECT_GT(s.stats.dual_pivots, 0);  // the bound-row initialization pivot
+}
+
+TEST(SparseSimplex, StatsResetBetweenSolvesOnReusedSolution) {
+  // Regression (this PR): the engine accumulated LpStats into whatever
+  // `solution` it was handed, so reusing an LpSolution across solve calls
+  // doubled the refactorization counter. The chain problem below crosses
+  // the refactorization interval, which makes the accumulation observable:
+  // a second solve into the SAME solution object must report the same
+  // counts as the first, not their sum.
+  LpProblem p;
+  constexpr int kVars = 400;
+  p.num_vars = kVars;
+  p.objective.assign(kVars, 0.0);
+  p.objective.back() = 1.0;
+  p.constraints.push_back({{{0, -1.0}}, -1.0});
+  for (int v = 1; v < kVars; ++v) {
+    p.constraints.push_back({{{v - 1, 1.0}, {v, -1.0}}, -1.0});
+  }
+  LpSolution reused;
+  detail::solve_lp_sparse_into(p, LpPricing::kDantzig, reused);
+  const LpStats first = reused.stats;
+  ASSERT_GT(first.refactorizations, 0);
+  detail::solve_lp_sparse_into(p, LpPricing::kDantzig, reused);
+  EXPECT_EQ(reused.stats.refactorizations, first.refactorizations);
+  EXPECT_EQ(reused.stats.iterations, first.iterations);
+
+  detail::solve_lp_sparse_dual_into(p, LpPricing::kDantzig, reused);
+  const LpStats dual_first = reused.stats;
+  detail::solve_lp_sparse_dual_into(p, LpPricing::kDantzig, reused);
+  EXPECT_EQ(reused.stats.refactorizations, dual_first.refactorizations);
+  EXPECT_EQ(reused.stats.iterations, dual_first.iterations);
+  EXPECT_EQ(reused.stats.dual_pivots, dual_first.dual_pivots);
+
+  // The reset covers every field, not just stats: an infeasible solve into
+  // the same (feasible, x-populated) solution must not leak the previous
+  // x / objective / bounded values through its early exit.
+  LpProblem infeasible;
+  infeasible.num_vars = 1;
+  infeasible.objective = {1.0};
+  infeasible.constraints = {{{{0, 1.0}}, 1.0}, {{{0, -1.0}}, -3.0}};
+  for (const bool dual : {false, true}) {
+    detail::solve_lp_sparse_into(p, LpPricing::kDantzig, reused);
+    ASSERT_TRUE(reused.feasible && !reused.x.empty());
+    if (dual) {
+      detail::solve_lp_sparse_dual_into(infeasible, LpPricing::kDantzig, reused);
+    } else {
+      detail::solve_lp_sparse_into(infeasible, LpPricing::kDantzig, reused);
+    }
+    EXPECT_FALSE(reused.feasible);
+    EXPECT_TRUE(reused.bounded);
+    EXPECT_TRUE(reused.x.empty());
+    EXPECT_EQ(reused.objective, 0.0);
+  }
+}
+
 TEST(SparseSimplex, MatchesDenseGeometryOnUniqueOptimum) {
   // End to end through the leaf compactor on the Figure 6.3-style cell of
   // leafcell_test, whose optimum is unique (rigid widths force every edge).
@@ -117,9 +230,17 @@ TEST(SparseSimplex, MatchesDenseGeometryOnUniqueOptimum) {
   const LeafResult sparse = compact_leaf_cells(cells, interfaces, {"a"}, specs,
                                                CompactionRules::mosis(), 1e-3, {},
                                                LpMethod::kSparseRevised);
+  // The default engine is now the dual (LpOptions{}); the unique optimum
+  // forces it onto the identical geometry.
+  const LeafResult dual =
+      compact_leaf_cells(cells, interfaces, {"a"}, specs, CompactionRules::mosis());
   EXPECT_EQ(dense.pitches, sparse.pitches);
   EXPECT_EQ(dense.cells.at("a"), sparse.cells.at("a"));
   EXPECT_NEAR(dense.objective, sparse.objective, 1e-6);
+  EXPECT_EQ(dense.pitches, dual.pitches);
+  EXPECT_EQ(dense.cells.at("a"), dual.cells.at("a"));
+  EXPECT_EQ(dual.lp_stats.phase1_pivots, 0);
+  EXPECT_EQ(dual.lp_stats.dual_fallbacks, 0);
 }
 
 TEST(SparseSimplex, MatchesDenseOnRandomSmallLps) {

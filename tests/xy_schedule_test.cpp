@@ -41,6 +41,132 @@ TEST(XySchedule, YCompactionIsTransposedXCompaction) {
   }
 }
 
+TEST(LeafXySchedule, LeafYCompactionPinsTransposedFigure63Cell) {
+  // The vertical mirror of leafcell_test's PitchShrinksToPackedMinimum:
+  // two metal bars stacked in y, a vertical self-interface of pitch 60.
+  // Packed: bars at y [0,10] and [16,26] (metal spacing 6), next instance's
+  // first bar 6 beyond y=26: λ_y = 32. x must come through untouched and
+  // pitch_y must carry the interface's (zero) x component.
+  CellTable cells;
+  InterfaceTable interfaces;
+  Cell& a = cells.create("a");
+  a.add_box(Layer::kMetal1, Box(0, 0, 4, 10));
+  a.add_box(Layer::kMetal1, Box(0, 30, 4, 40));
+  interfaces.declare("a", "a", 1, Interface{{0, 60}, Orientation::kNorth});
+  const LeafResult result = compact_leaf_cells_y(cells, interfaces, {"a"}, {{"a", "a", 1, 1.0}},
+                                                 CompactionRules::mosis());
+  ASSERT_EQ(result.pitches.size(), 1u);
+  EXPECT_EQ(result.original_pitches[0], 60);
+  EXPECT_EQ(result.pitches[0], 32);
+  EXPECT_EQ(result.pitch_y[0], 0);  // the untouched x component
+  const auto& boxes = result.cells.at("a");
+  EXPECT_EQ(boxes[0].box, Box(0, 0, 4, 10));
+  EXPECT_EQ(boxes[1].box, Box(0, 16, 4, 26));
+
+  // Rebuild is axis-checked: the y result must go through the _y variant
+  // (which un-mirrors the pitch bookkeeping); the x variant throws rather
+  // than silently declaring a component-swapped interface.
+  CellTable new_cells;
+  InterfaceTable new_interfaces;
+  EXPECT_THROW(
+      make_compacted_library(result, {{"a", "a", 1, 1.0}}, new_cells, new_interfaces), Error);
+  make_compacted_library_y(result, {{"a", "a", 1, 1.0}}, new_cells, new_interfaces);
+  EXPECT_EQ(new_interfaces.get("a", "a", 1).vector, (Point{0, 32}));
+  // And an x result refuses the _y variant.
+  interfaces.declare("a", "a", 2, Interface{{20, 0}, Orientation::kNorth});
+  const LeafResult x_result = compact_leaf_cells(cells, interfaces, {"a"}, {{"a", "a", 2, 1.0}},
+                                                 CompactionRules::mosis());
+  EXPECT_FALSE(x_result.y_axis);
+  EXPECT_THROW(
+      make_compacted_library_y(x_result, {{"a", "a", 2, 1.0}}, new_cells, new_interfaces),
+      Error);
+}
+
+TEST(LeafXySchedule, LeafYCompactionValidation) {
+  CellTable cells;
+  InterfaceTable interfaces;
+  Cell& a = cells.create("a");
+  a.add_box(Layer::kMetal1, Box(0, 0, 4, 10));
+  Cell& sunk = cells.create("sunk");
+  sunk.add_box(Layer::kMetal1, Box(0, -5, 4, 5));
+  interfaces.declare("a", "a", 1, Interface{{40, 0}, Orientation::kNorth});
+  interfaces.declare("sunk", "sunk", 1, Interface{{0, 40}, Orientation::kNorth});
+  // An x-only pitch cannot be y-compacted...
+  EXPECT_THROW(compact_leaf_cells_y(cells, interfaces, {"a"}, {{"a", "a", 1, 1.0}},
+                                    CompactionRules::mosis()),
+               Error);
+  // ...and boxes below local y = 0 violate the transposed gauge contract.
+  EXPECT_THROW(compact_leaf_cells_y(cells, interfaces, {"sunk"}, {{"sunk", "sunk", 1, 1.0}},
+                                    CompactionRules::mosis()),
+               Error);
+}
+
+TEST(LeafXySchedule, ScheduleCompactsBothAxesToDrcCleanGrid) {
+  // The leaf-aware x/y round end to end on the 2-D synthetic library:
+  // every horizontal pitch and every vertical pitch must come back no
+  // larger (most strictly smaller), the schedule must converge inside the
+  // cap, and the compacted library must tile design-rule-clean as a grid —
+  // the §6.3 promise, now on both axes.
+  const SynthLeafLibrary lib = make_leaf_library_2d(5, 6, /*seed=*/3);
+  LeafXyOptions options;
+  const LeafXyResult result = compact_leaf_schedule(lib.cells, lib.interfaces, lib.cell_names,
+                                                    lib.pitch_specs, CompactionRules::mosis(),
+                                                    options);
+  ASSERT_TRUE(result.converged);
+  ASSERT_GE(result.rounds, 1);
+  ASSERT_EQ(result.round_stats.size(), static_cast<std::size_t>(result.rounds));
+  EXPECT_TRUE(result.round_stats.front().x_ran);
+  EXPECT_TRUE(result.round_stats.front().y_ran);
+
+  bool some_x_shrank = false;
+  bool some_y_shrank = false;
+  for (const PitchSpec& spec : lib.pitch_specs) {
+    const Interface before = lib.interfaces.get(spec.cell_a, spec.cell_b, spec.interface_index);
+    const Interface after =
+        result.interfaces.get(spec.cell_a, spec.cell_b, spec.interface_index);
+    if (before.vector.x > 0) {
+      EXPECT_LE(after.vector.x, before.vector.x);
+      some_x_shrank |= after.vector.x < before.vector.x;
+    }
+    if (before.vector.y > 0) {
+      EXPECT_LE(after.vector.y, before.vector.y);
+      some_y_shrank |= after.vector.y < before.vector.y;
+    }
+  }
+  EXPECT_TRUE(some_x_shrank);
+  EXPECT_TRUE(some_y_shrank);
+
+  // Tile cell 0 as a 3x3 grid at its compacted self-pitches and DRC it.
+  const std::string& name = lib.cell_names.front();
+  const Interface hp = result.interfaces.get(name, name, 1);
+  const Interface vp = result.interfaces.get(name, name, 2);
+  const std::vector<LayerBox> cell_boxes = flatten_boxes(result.cells.get(name));
+  std::vector<LayerBox> assembled;
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      for (const LayerBox& lb : cell_boxes) {
+        assembled.push_back(
+            {lb.layer, lb.box.translated({i * hp.vector.x + j * vp.vector.x,
+                                          i * hp.vector.y + j * vp.vector.y})});
+      }
+    }
+  }
+  EXPECT_TRUE(check_design_rules(assembled, DesignRules::mosis_lambda()).empty());
+}
+
+TEST(LeafXySchedule, ScheduleRunsOnTheDualEngineByDefault) {
+  // The options knob's default is the kSparseDual engine; on the leaf
+  // LPs it must never touch phase 1 or fall back, and every pivot it
+  // reports must be a dual pivot.
+  const SynthLeafLibrary lib = make_leaf_library_2d(4, 6, /*seed=*/9);
+  const LeafXyResult result = compact_leaf_schedule(lib.cells, lib.interfaces, lib.cell_names,
+                                                    lib.pitch_specs, CompactionRules::mosis());
+  EXPECT_GT(result.lp_total.iterations, 0);
+  EXPECT_EQ(result.lp_total.phase1_pivots, 0);
+  EXPECT_EQ(result.lp_total.dual_fallbacks, 0);
+  EXPECT_EQ(result.lp_total.dual_pivots, result.lp_total.iterations);
+}
+
 TEST(XySchedule, ConvergesOnGridField) {
   const SynthField field = make_grid_field(8, 8);
   XyScheduleOptions schedule;
