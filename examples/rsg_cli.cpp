@@ -1,24 +1,20 @@
 // rsg_cli — the RSG as a command-line tool, mirroring how the original ran
-// on the DEC-2060: three input files in, one layout file out.
-//
-//   rsg_cli <sample> <design> <params> [-o out.cif] [--svg out.svg]
-//           [--top name] [--stats] [--compact-stats]
-//
-// --compact-stats prints the per-round telemetry of the post-generation
-// x/y compaction schedule (requested with the `.compact:xy` parameter-file
-// directive): per-axis extent deltas, constraint reuse, solver pops, warm
-// starts, and wall time — what makes a converged schedule distinguishable
-// from a capped one.
+// on the DEC-2060: three input files in, one layout file out. A second mode
+// skips generation entirely and re-emits a previously saved RSGB binary
+// snapshot (docs/formats/RSGB.md) in any of the text formats.
 //
 // The sample may be the text format (.sample) or CIF (detected by content).
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <vector>
 
 #include "io/cif_reader.hpp"
 #include "io/cif_writer.hpp"
+#include "io/def_writer.hpp"
 #include "io/param_file.hpp"
+#include "io/snapshot.hpp"
 #include "io/svg_writer.hpp"
 #include "lang/parser.hpp"
 #include "rsg/generator.hpp"
@@ -26,8 +22,36 @@
 namespace {
 
 const char kUsage[] =
-    "usage: rsg_cli <sample> <design> <params> [-o out.cif] [--svg out.svg]\n"
-    "               [--top name] [--stats] [--compact-stats]\n";
+    "usage: rsg_cli <sample> <design> <params> [options]\n"
+    "       rsg_cli --snapshot-in <file.rsgb> [options]\n"
+    "\n"
+    "inputs (generation mode):\n"
+    "  <sample>            sample layout: text format or CIF, detected by content\n"
+    "  <design>            design file (procedural description)\n"
+    "  <params>            parameter file; notable directives:\n"
+    "                        .top_cell:<name>      pick the output cell\n"
+    "                        .compact:xy           post-generation x/y compaction\n"
+    "                                              (alternating-axis schedule over the\n"
+    "                                              dual-simplex leaf LP with devex pricing)\n"
+    "                        .snapshot_file:<f>    also write an RSGB snapshot (run_files)\n"
+    "\n"
+    "inputs (snapshot mode):\n"
+    "  --snapshot-in <f>   skip generation; load an RSGB binary snapshot instead\n"
+    "\n"
+    "outputs:\n"
+    "  -o <file.cif>       write CIF to a file (default: CIF on stdout); streamed\n"
+    "                      through a bounded buffer, not materialized\n"
+    "  --svg <file.svg>    write an SVG rendering of the top cell\n"
+    "  --def <file.def>    write the flat, sorted DEF box dump\n"
+    "  --snapshot-out <f>  write an RSGB binary snapshot of the whole cell table\n"
+    "                      rooted at the top cell (spec: docs/formats/RSGB.md)\n"
+    "\n"
+    "options:\n"
+    "  --top <name>        override the top cell choice\n"
+    "  --stats             print pipeline statistics to stderr\n"
+    "  --compact-stats     print per-round compaction telemetry to stderr: extent\n"
+    "                      deltas, constraint reuse, solver pops, x/y warm starts\n"
+    "  -h, --help          show this help\n";
 
 void print_compact_stats(const rsg::GeneratorResult& result) {
   using rsg::compact::RoundStats;
@@ -84,44 +108,75 @@ bool looks_like_cif(const std::string& text) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
-      std::cout << kUsage;
-      return 0;
-    }
-  }
-  if (argc < 4) return usage();
+  std::vector<std::string> inputs;
+  std::string snapshot_in;
+  std::string snapshot_out;
   std::string out_cif;
   std::string out_svg;
+  std::string out_def;
   std::string top;
   bool stats = false;
   bool compact_stats = false;
-  for (int i = 4; i < argc; ++i) {
-    if (std::strcmp(argv[i], "-o") == 0 && i + 1 < argc) {
-      out_cif = argv[++i];
-    } else if (std::strcmp(argv[i], "--svg") == 0 && i + 1 < argc) {
-      out_svg = argv[++i];
-    } else if (std::strcmp(argv[i], "--top") == 0 && i + 1 < argc) {
-      top = argv[++i];
+  for (int i = 1; i < argc; ++i) {
+    auto value = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "rsg_cli: " << flag << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
+      std::cout << kUsage;
+      return 0;
+    } else if (std::strcmp(argv[i], "-o") == 0) {
+      out_cif = value("-o");
+    } else if (std::strcmp(argv[i], "--svg") == 0) {
+      out_svg = value("--svg");
+    } else if (std::strcmp(argv[i], "--def") == 0) {
+      out_def = value("--def");
+    } else if (std::strcmp(argv[i], "--snapshot-in") == 0) {
+      snapshot_in = value("--snapshot-in");
+    } else if (std::strcmp(argv[i], "--snapshot-out") == 0) {
+      snapshot_out = value("--snapshot-out");
+    } else if (std::strcmp(argv[i], "--top") == 0) {
+      top = value("--top");
     } else if (std::strcmp(argv[i], "--stats") == 0) {
       stats = true;
     } else if (std::strcmp(argv[i], "--compact-stats") == 0) {
       compact_stats = true;
-    } else {
+    } else if (argv[i][0] == '-' && argv[i][1] != '\0') {
       return usage();
+    } else {
+      inputs.emplace_back(argv[i]);
     }
   }
+  const bool snapshot_mode = !snapshot_in.empty();
+  if (snapshot_mode ? !inputs.empty() : inputs.size() != 3) return usage();
 
   try {
-    const std::string sample_text = rsg::read_text_file(argv[1]);
-    const std::string design_text = rsg::read_text_file(argv[2]);
-    const std::string param_text = rsg::read_text_file(argv[3]);
-
     rsg::Generator generator;
     rsg::GeneratorResult result;
-    if (looks_like_cif(sample_text)) {
+
+    if (snapshot_mode) {
+      const rsg::SnapshotReadResult loaded = generator.import_snapshot(snapshot_in);
+      std::string top_name = top.empty() ? loaded.root : top;
+      if (top_name.empty()) {
+        if (generator.cells().names_in_order().empty()) {
+          throw rsg::Error("snapshot contains no cells");
+        }
+        top_name = generator.cells().names_in_order().back();
+      }
+      result.top = &generator.cells().get(top_name);
+      if (stats) {
+        std::cerr << "snapshot:       " << loaded.cells << " cells, " << loaded.boxes
+                  << " boxes, " << loaded.instances << " instances\n";
+      }
+    } else if (const std::string sample_text = rsg::read_text_file(inputs[0]);
+               looks_like_cif(sample_text)) {
       // Route the sample through the CIF front end, then run the rest of
       // the pipeline manually (Generator::run assumes the text format).
+      const std::string design_text = rsg::read_text_file(inputs[1]);
+      const std::string param_text = rsg::read_text_file(inputs[2]);
       rsg::load_sample_layout_cif(sample_text, generator.cells(), generator.interfaces());
       const rsg::ParameterFile params = rsg::ParameterFile::parse(param_text);
       rsg::lang::Interpreter interp(generator.cells(), generator.interfaces(),
@@ -134,21 +189,32 @@ int main(int argc, char** argv) {
       }
       if (top_name.empty()) top_name = generator.cells().names_in_order().back();
       result.top = &generator.cells().get(top_name);
-      result.output = rsg::cif_to_string(*result.top);
     } else {
+      const std::string design_text = rsg::read_text_file(inputs[1]);
+      const std::string param_text = rsg::read_text_file(inputs[2]);
       result = generator.run(sample_text, design_text, param_text, top);
     }
 
+    // Outputs. File outputs stream through the bounded writers; only the
+    // stdout path materializes the CIF text.
     if (!out_cif.empty()) {
-      std::ofstream out(out_cif);
-      out << result.output;
+      rsg::write_cif_file(out_cif, *result.top);
       std::cout << "wrote " << out_cif << "\n";
-    } else {
-      std::cout << result.output;
+    } else if (out_svg.empty() && out_def.empty() && snapshot_out.empty()) {
+      rsg::write_cif(std::cout, *result.top);
     }
     if (!out_svg.empty()) {
       rsg::write_svg_file(out_svg, *result.top);
       std::cout << "wrote " << out_svg << "\n";
+    }
+    if (!out_def.empty()) {
+      rsg::write_def_file(out_def, *result.top);
+      std::cout << "wrote " << out_def << "\n";
+    }
+    if (!snapshot_out.empty()) {
+      const rsg::SnapshotWriteStats written =
+          generator.export_snapshot(snapshot_out, result.top->name());
+      std::cout << "wrote " << snapshot_out << " (" << written.file_bytes << " bytes)\n";
     }
     if (compact_stats) print_compact_stats(result);
     if (stats) {
@@ -156,9 +222,11 @@ int main(int argc, char** argv) {
       std::cerr << "flat instances: " << result.top->flattened_instance_count() << "\n";
       std::cerr << "flat boxes:     " << result.top->flattened_box_count() << "\n";
       std::cerr << "bounding box:   " << result.top->bounding_box() << "\n";
-      std::cerr << "phases (s):     " << result.times.read_sample.count() << " / "
-                << result.times.execute_design.count() << " / "
-                << result.times.write_output.count() << "\n";
+      if (!snapshot_mode) {
+        std::cerr << "phases (s):     " << result.times.read_sample.count() << " / "
+                  << result.times.execute_design.count() << " / "
+                  << result.times.write_output.count() << "\n";
+      }
     }
   } catch (const std::exception& e) {
     std::cerr << "rsg_cli: " << e.what() << "\n";

@@ -1,13 +1,14 @@
 #!/usr/bin/env sh
 # Builds every benchmark and runs the fast ones, emitting BENCH_smoke.json,
-# BENCH_compact_scaling.json, BENCH_leaf_scaling.json and
-# BENCH_xy_scaling.json — the artifacts CI uploads to grow the performance
-# trajectory. The xy point doubles as a regression tripwire: the job fails
-# if the incremental schedule is not at least as fast per post-first-round
-# iteration as the scratch schedule at the 10k-box size.
+# BENCH_compact_scaling.json, BENCH_leaf_scaling.json, BENCH_xy_scaling.json
+# and BENCH_io_scaling.json — the artifacts CI uploads to grow the
+# performance trajectory (schemas: docs/BENCHMARKS.md). The xy point doubles
+# as a regression tripwire: the job fails if the incremental schedule is not
+# at least as fast per post-first-round iteration as the scratch schedule at
+# the 10k-box size.
 #
 # Usage: scripts/bench_smoke.sh [build-dir] [smoke.json] [scaling.json]
-#                               [leaf.json] [xy.json]
+#                               [leaf.json] [xy.json] [io.json]
 set -eu
 
 BUILD_DIR="${1:-build}"
@@ -15,6 +16,7 @@ OUT="${2:-BENCH_smoke.json}"
 SCALING_OUT="${3:-BENCH_compact_scaling.json}"
 LEAF_OUT="${4:-BENCH_leaf_scaling.json}"
 XY_OUT="${5:-BENCH_xy_scaling.json}"
+IO_OUT="${6:-BENCH_io_scaling.json}"
 
 # Portable core count: nproc is not POSIX (absent on stock macOS).
 if command -v nproc >/dev/null 2>&1; then
@@ -58,6 +60,23 @@ run_bench bench_compact_scaling "$SCALING_OUT" '/(1000|10000)$'
 run_bench bench_leaf_scaling "$LEAF_OUT" '/(2|4|8)$'
 # The scratch-vs-incremental x/y schedule at the 10k acceptance size.
 run_bench bench_xy_scaling "$XY_OUT" '/10000$'
+# The streaming I/O pipeline at the 100k size (the bounded-buffer contract
+# is asserted inside the benchmark — a violation turns into an error_occurred
+# entry and fails the JSON check below). The 1M acceptance point needs an
+# unfiltered local run.
+run_bench bench_io_scaling "$IO_OUT" '/100000$'
+
+# A benchmark that tripped its in-bench assertion still writes JSON; fail
+# on any error_occurred entry rather than uploading a poisoned artifact.
+python3 - "$IO_OUT" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    data = json.load(f)
+errors = [b["name"] for b in data.get("benchmarks", []) if b.get("error_occurred")]
+if errors:
+    sys.exit("error: benchmarks failed their in-bench assertions: " + ", ".join(errors))
+EOF
 
 # Regression tripwire: the incremental schedule must never be SLOWER than
 # the scratch schedule per post-first-round iteration at the 10k size. The
@@ -86,11 +105,24 @@ EOF
 
 # Every artifact CI uploads must exist and be non-empty — a silently
 # skipped benchmark must fail the job, not upload a hole in the trajectory.
+# Each must also be documented in docs/BENCHMARKS.md: an artifact nobody can
+# interpret is as bad as a missing one.
 status=0
-for artifact in "$OUT" "$SCALING_OUT" "$LEAF_OUT" "$XY_OUT"; do
-  if [ ! -s "$artifact" ]; then
-    echo "error: expected benchmark artifact '$artifact' was not produced" >&2
+# check_artifact <path> <canonical-name>: the path may be caller-overridden,
+# so the documentation grep uses the canonical CI artifact name.
+check_artifact() {
+  if [ ! -s "$1" ]; then
+    echo "error: expected benchmark artifact '$1' was not produced" >&2
     status=1
   fi
-done
+  if [ -f docs/BENCHMARKS.md ] && ! grep -q "$2" docs/BENCHMARKS.md; then
+    echo "error: artifact '$2' is not documented in docs/BENCHMARKS.md" >&2
+    status=1
+  fi
+}
+check_artifact "$OUT" BENCH_smoke.json
+check_artifact "$SCALING_OUT" BENCH_compact_scaling.json
+check_artifact "$LEAF_OUT" BENCH_leaf_scaling.json
+check_artifact "$XY_OUT" BENCH_xy_scaling.json
+check_artifact "$IO_OUT" BENCH_io_scaling.json
 exit "$status"

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Documentation checks run by the CI `docs` job (and usable locally).
+
+Two checks, both dependency-free:
+
+ 1. Markdown link integrity: every relative link target in every tracked
+    *.md file must resolve to an existing file or directory (anchors are
+    stripped; http(s)/mailto links are skipped — CI stays hermetic).
+ 2. Benchmark-artifact coverage: every BENCH_*.json artifact uploaded by
+    .github/workflows/ci.yml must be named in docs/BENCHMARKS.md, so no
+    artifact lands in CI without a documented schema.
+
+Exits non-zero with one line per violation.
+"""
+
+import os
+import re
+import subprocess
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# Matches [text](target) but not images with URLs or footnote syntax; good
+# enough for this repo's plain markdown.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def tracked_markdown():
+    out = subprocess.run(
+        ["git", "ls-files", "*.md"], cwd=REPO, capture_output=True, text=True, check=True
+    )
+    return [line for line in out.stdout.splitlines() if line]
+
+
+def check_links(errors):
+    for md in tracked_markdown():
+        base = os.path.dirname(os.path.join(REPO, md))
+        with open(os.path.join(REPO, md), encoding="utf-8") as f:
+            text = f.read()
+        # Skip fenced code blocks: their bracket syntax is not a link.
+        text = re.sub(r"```.*?```", "", text, flags=re.S)
+        for match in LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            resolved = os.path.normpath(os.path.join(base, path))
+            if not os.path.exists(resolved):
+                errors.append(f"{md}: broken link '{target}'")
+
+
+def check_bench_artifacts(errors):
+    ci_path = os.path.join(REPO, ".github", "workflows", "ci.yml")
+    with open(ci_path, encoding="utf-8") as f:
+        ci = f.read()
+    artifacts = sorted(set(re.findall(r"(BENCH_\w+\.json)", ci)))
+    if not artifacts:
+        errors.append("ci.yml: no BENCH_*.json artifacts found (check the regex)")
+        return
+    benchmarks_md = os.path.join(REPO, "docs", "BENCHMARKS.md")
+    if not os.path.exists(benchmarks_md):
+        errors.append("docs/BENCHMARKS.md is missing")
+        return
+    with open(benchmarks_md, encoding="utf-8") as f:
+        documented = f.read()
+    for artifact in artifacts:
+        if artifact not in documented:
+            errors.append(f"docs/BENCHMARKS.md: CI artifact '{artifact}' is undocumented")
+
+
+def main():
+    errors = []
+    check_links(errors)
+    check_bench_artifacts(errors)
+    for error in errors:
+        print(f"error: {error}", file=sys.stderr)
+    if errors:
+        return 1
+    count = len(tracked_markdown())
+    print(f"docs check passed: {count} markdown files, links and artifact schemas OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,6 +3,7 @@
 #include <cctype>
 #include <map>
 #include <optional>
+#include <sstream>
 #include <vector>
 
 #include "iface/interface.hpp"
@@ -15,72 +16,44 @@ namespace {
 // One semicolon-terminated CIF command, split into its leading letters and
 // the remaining token list.
 struct Command {
-  std::string op;                    // "DS", "DF", "L", "B", "C", "9", "94", "E"
-  std::vector<std::string> tokens;   // remaining whitespace-separated fields
+  std::string op;                   // "DS", "DF", "L", "B", "C", "9", "94", "E"
+  std::vector<std::string> tokens;  // remaining whitespace-separated fields
 };
 
-std::vector<Command> split_commands(const std::string& text) {
-  std::vector<Command> commands;
-  std::string current;
-  int paren_depth = 0;
-  for (const char c : text) {
-    if (c == '(') {
-      ++paren_depth;  // comment
-      continue;
-    }
-    if (c == ')') {
-      if (paren_depth > 0) --paren_depth;
-      continue;
-    }
-    if (paren_depth > 0) continue;
-    if (c == ';') {
-      // Tokenize.
-      std::vector<std::string> tokens;
-      std::string token;
-      for (const char d : current) {
-        if (std::isspace(static_cast<unsigned char>(d))) {
-          if (!token.empty()) tokens.push_back(std::move(token));
-          token.clear();
-        } else {
-          token.push_back(d);
-        }
-      }
-      if (!token.empty()) tokens.push_back(std::move(token));
-      current.clear();
-      if (tokens.empty()) continue;
-
-      Command cmd;
-      // The op is the leading alphabetic run of the first token; digits
-      // directly attached (e.g. "B10") become the first operand.
-      std::string& head = tokens.front();
-      std::size_t i = 0;
-      while (i < head.size() &&
-             (std::isalpha(static_cast<unsigned char>(head[i])) ||
-              std::isdigit(static_cast<unsigned char>(head[i])) ) &&
-             !std::isdigit(static_cast<unsigned char>(head[0]))) {
-        // alphabetic op (DS, DF, L, B, C, E, MX...)
-        if (!std::isalpha(static_cast<unsigned char>(head[i]))) break;
-        ++i;
-      }
-      if (std::isdigit(static_cast<unsigned char>(head[0]))) {
-        // numeric ops: 9 (name) and 94 (label)
-        cmd.op = head;
-        tokens.erase(tokens.begin());
-      } else {
-        cmd.op = head.substr(0, i);
-        if (i < head.size()) {
-          tokens.front() = head.substr(i);
-        } else {
-          tokens.erase(tokens.begin());
-        }
-      }
-      cmd.tokens = std::move(tokens);
-      commands.push_back(std::move(cmd));
+// Tokenizes one command's text (already comment-stripped, ';' removed). The
+// op is the leading alphabetic run of the first token; digits directly
+// attached (e.g. "B10") become the first operand; numeric ops (9, 94) take
+// the whole first token.
+Command tokenize_command(const std::string& text) {
+  Command cmd;
+  std::string token;
+  for (const char d : text) {
+    if (std::isspace(static_cast<unsigned char>(d))) {
+      if (!token.empty()) cmd.tokens.push_back(std::move(token));
+      token.clear();
     } else {
-      current.push_back(c);
+      token.push_back(d);
     }
   }
-  return commands;
+  if (!token.empty()) cmd.tokens.push_back(std::move(token));
+  if (cmd.tokens.empty()) return cmd;
+
+  std::string& head = cmd.tokens.front();
+  if (std::isdigit(static_cast<unsigned char>(head[0]))) {
+    // numeric ops: 9 (name) and 94 (label)
+    cmd.op = head;
+    cmd.tokens.erase(cmd.tokens.begin());
+  } else {
+    std::size_t i = 0;
+    while (i < head.size() && std::isalpha(static_cast<unsigned char>(head[i]))) ++i;
+    cmd.op = head.substr(0, i);
+    if (i < head.size()) {
+      head = head.substr(i);
+    } else {
+      cmd.tokens.erase(cmd.tokens.begin());
+    }
+  }
+  return cmd;
 }
 
 Coord to_int(const std::string& token) {
@@ -151,34 +124,187 @@ Placement parse_call_transform(const std::vector<std::string>& tokens, std::size
   return total;
 }
 
-struct SymbolData {
-  Cell* cell = nullptr;
-  std::string name;
-};
-
 }  // namespace
 
-CifReadResult read_cif(const std::string& text, CellTable& cells) {
+CifPullParser::CifPullParser(std::istream& in) : CifPullParser(in, Options{}) {}
+
+CifPullParser::CifPullParser(std::istream& in, Options options) : in_(in), options_(options) {
+  if (options_.chunk_bytes == 0) options_.chunk_bytes = 1;
+}
+
+bool CifPullParser::refill() {
+  chunk_.resize(options_.chunk_bytes);
+  in_.read(chunk_.data(), static_cast<std::streamsize>(options_.chunk_bytes));
+  chunk_.resize(static_cast<std::size_t>(in_.gcount()));
+  chunk_pos_ = 0;
+  bytes_consumed_ += chunk_.size();
+  if (pending_.size() + chunk_.size() > peak_buffer_bytes_) {
+    peak_buffer_bytes_ = pending_.size() + chunk_.size();
+  }
+  return !chunk_.empty();
+}
+
+// Accumulates comment-stripped characters into the residual command buffer
+// until a top-level ';' completes a command. Returns false at end of stream
+// (trailing unterminated text is discarded, as the whole-text parser did).
+bool CifPullParser::take_command(std::string& command) {
+  for (;;) {
+    while (chunk_pos_ < chunk_.size()) {
+      const char c = chunk_[chunk_pos_++];
+      if (c == '(') {
+        ++paren_depth_;  // comment
+        continue;
+      }
+      if (c == ')') {
+        if (paren_depth_ > 0) --paren_depth_;
+        continue;
+      }
+      if (paren_depth_ > 0) continue;
+      if (c == ';') {
+        command = std::move(pending_);
+        pending_.clear();
+        return true;
+      }
+      pending_.push_back(c);
+      if (pending_.size() + (chunk_.size() - chunk_pos_) > peak_buffer_bytes_) {
+        peak_buffer_bytes_ = pending_.size() + (chunk_.size() - chunk_pos_);
+      }
+    }
+    if (!refill()) {
+      pending_.clear();
+      return false;
+    }
+  }
+}
+
+bool CifPullParser::next(Event& event) {
+  if (end_delivered_) return false;
+  std::string text;
+  while (!done_ && take_command(text)) {
+    const Command cmd = tokenize_command(text);
+    if (cmd.op.empty() && cmd.tokens.empty()) continue;
+
+    if (cmd.op == "DS") {
+      if (in_symbol_) throw Error("CIF: nested DS");
+      if (cmd.tokens.empty()) throw Error("CIF: DS needs a symbol number");
+      open_symbol_ = static_cast<int>(to_int(cmd.tokens[0]));
+      scale_num_ = cmd.tokens.size() > 1 ? to_int(cmd.tokens[1]) : 1;
+      scale_den_ = cmd.tokens.size() > 2 ? to_int(cmd.tokens[2]) : 1;
+      if (scale_num_ <= 0 || scale_den_ <= 0) throw Error("CIF: bad DS scale");
+      in_symbol_ = true;
+      event = Event{};
+      event.kind = EventKind::kBeginSymbol;
+      event.symbol = open_symbol_;
+      return true;
+    }
+
+    auto scaled = [this](Coord v) -> Coord {
+      const Coord scaled_value = v * scale_num_;
+      if (scaled_value % scale_den_ != 0) {
+        throw Error("CIF: coordinate " + std::to_string(v) + " not divisible under scale " +
+                    std::to_string(scale_num_) + "/" + std::to_string(scale_den_));
+      }
+      return scaled_value / scale_den_;
+    };
+
+    if (cmd.op == "DF") {
+      if (!in_symbol_) throw Error("CIF: DF without DS");
+      in_symbol_ = false;
+      scale_num_ = scale_den_ = 1;
+      event = Event{};
+      event.kind = EventKind::kEndSymbol;
+      event.symbol = open_symbol_;
+      return true;
+    }
+    if (cmd.op == "L") {
+      if (cmd.tokens.empty()) throw Error("CIF: L needs a layer name");
+      current_layer_ = layer_from_cif(cmd.tokens[0]);
+      continue;  // state only — the layer rides the next kBox event
+    }
+    if (cmd.op == "B") {
+      if (cmd.tokens.size() < 4) throw Error("CIF: B needs length width cx cy");
+      Coord w = scaled(to_int(cmd.tokens[0]));
+      Coord h = scaled(to_int(cmd.tokens[1]));
+      const Coord cx2 = to_int(cmd.tokens[2]) * 2;
+      const Coord cy2 = to_int(cmd.tokens[3]) * 2;
+      if (cmd.tokens.size() >= 6) {
+        const Coord dx = to_int(cmd.tokens[4]);
+        const Coord dy = to_int(cmd.tokens[5]);
+        if (dx == 0 && dy != 0) {
+          std::swap(w, h);  // box rotated a quarter turn
+        } else if (!(dy == 0 && dx != 0)) {
+          throw Error("CIF: only axis-aligned box directions are supported");
+        }
+      }
+      // Centers may sit on half coordinates; doubling keeps everything
+      // integral, then the scale must make the corners whole.
+      const Coord lo_x2 = scaled(cx2) - w;
+      const Coord lo_y2 = scaled(cy2) - h;
+      if (lo_x2 % 2 != 0 || lo_y2 % 2 != 0) {
+        throw Error("CIF: box corners land on half coordinates");
+      }
+      if (!in_symbol_) throw Error("CIF: geometry outside DS/DF is not supported");
+      event = Event{};
+      event.kind = EventKind::kBox;
+      event.layer = current_layer_;
+      event.box = Box(lo_x2 / 2, lo_y2 / 2, lo_x2 / 2 + w, lo_y2 / 2 + h);
+      return true;
+    }
+    if (cmd.op == "C") {
+      if (cmd.tokens.empty()) throw Error("CIF: C needs a symbol number");
+      event = Event{};
+      event.kind = EventKind::kCall;
+      event.callee = static_cast<int>(to_int(cmd.tokens[0]));
+      event.placement = parse_call_transform(cmd.tokens, 1);
+      event.placement.location = {scaled(event.placement.location.x),
+                                  scaled(event.placement.location.y)};
+      event.top_level = !in_symbol_;
+      return true;
+    }
+    if (cmd.op == "9") {
+      if (cmd.tokens.empty()) throw Error("CIF: 9 needs a name");
+      event = Event{};
+      event.kind = EventKind::kSymbolName;
+      event.name = cmd.tokens[0];
+      return true;
+    }
+    if (cmd.op == "94") {
+      if (cmd.tokens.size() < 3) throw Error("CIF: 94 needs text x y");
+      event = Event{};
+      event.kind = EventKind::kLabel;
+      event.name = cmd.tokens[0];
+      event.at = {scaled(to_int(cmd.tokens[1])), scaled(to_int(cmd.tokens[2]))};
+      return true;
+    }
+    if (cmd.op == "E") {
+      done_ = true;
+      break;
+    }
+    throw Error("CIF: unsupported command '" + cmd.op + "'");
+  }
+  // End of input (E command or stream exhausted).
+  done_ = true;
+  if (in_symbol_) throw Error("CIF: missing DF");
+  end_delivered_ = true;
+  event = Event{};
+  event.kind = EventKind::kEnd;
+  return true;
+}
+
+CifReadResult read_cif(std::istream& in, CellTable& cells, CifPullParser::Options options) {
+  struct SymbolData {
+    Cell* cell = nullptr;
+    std::string name;
+  };
+
   CifReadResult result;
+  CifPullParser parser(in, options);
   std::map<int, SymbolData> symbols;
-  std::optional<int> open_symbol;
-  Coord scale_num = 1;
-  Coord scale_den = 1;
-  Layer current_layer = Layer::kMetal1;
   std::vector<std::pair<int, Placement>> pending_calls;  // within the open symbol
   std::vector<std::pair<int, Placement>> top_calls;
   std::vector<LayerBox> pending_boxes;
   std::vector<Label> pending_labels;
   std::string pending_name;
-
-  auto scaled = [&](Coord v) -> Coord {
-    const Coord scaled_value = v * scale_num;
-    if (scaled_value % scale_den != 0) {
-      throw Error("CIF: coordinate " + std::to_string(v) + " not divisible under scale " +
-                  std::to_string(scale_num) + "/" + std::to_string(scale_den));
-    }
-    return scaled_value / scale_den;
-  };
 
   auto flush_symbol = [&](int id) {
     // Materialize the finished DS..DF block as a Cell.
@@ -203,73 +329,32 @@ CifReadResult read_cif(const std::string& text, CellTable& cells) {
     ++result.cells_read;
   };
 
-  for (const Command& cmd : split_commands(text)) {
-    if (cmd.op == "DS") {
-      if (open_symbol) throw Error("CIF: nested DS");
-      if (cmd.tokens.empty()) throw Error("CIF: DS needs a symbol number");
-      open_symbol = static_cast<int>(to_int(cmd.tokens[0]));
-      scale_num = cmd.tokens.size() > 1 ? to_int(cmd.tokens[1]) : 1;
-      scale_den = cmd.tokens.size() > 2 ? to_int(cmd.tokens[2]) : 1;
-      if (scale_num <= 0 || scale_den <= 0) throw Error("CIF: bad DS scale");
-    } else if (cmd.op == "DF") {
-      if (!open_symbol) throw Error("CIF: DF without DS");
-      flush_symbol(*open_symbol);
-      open_symbol.reset();
-      scale_num = scale_den = 1;
-    } else if (cmd.op == "L") {
-      if (cmd.tokens.empty()) throw Error("CIF: L needs a layer name");
-      current_layer = layer_from_cif(cmd.tokens[0]);
-    } else if (cmd.op == "B") {
-      if (cmd.tokens.size() < 4) throw Error("CIF: B needs length width cx cy");
-      Coord w = scaled(to_int(cmd.tokens[0]));
-      Coord h = scaled(to_int(cmd.tokens[1]));
-      const Coord cx2 = to_int(cmd.tokens[2]) * 2;
-      const Coord cy2 = to_int(cmd.tokens[3]) * 2;
-      if (cmd.tokens.size() >= 6) {
-        const Coord dx = to_int(cmd.tokens[4]);
-        const Coord dy = to_int(cmd.tokens[5]);
-        if (dx == 0 && dy != 0) {
-          std::swap(w, h);  // box rotated a quarter turn
-        } else if (!(dy == 0 && dx != 0)) {
-          throw Error("CIF: only axis-aligned box directions are supported");
-        }
-      }
-      // Centers may sit on half coordinates; doubling keeps everything
-      // integral, then the scale must make the corners whole.
-      const Coord lo_x2 = scaled(cx2) - w;
-      const Coord lo_y2 = scaled(cy2) - h;
-      if (lo_x2 % 2 != 0 || lo_y2 % 2 != 0) {
-        throw Error("CIF: box corners land on half coordinates");
-      }
-      Box box(lo_x2 / 2, lo_y2 / 2, lo_x2 / 2 + w, lo_y2 / 2 + h);
-      if (!open_symbol) throw Error("CIF: geometry outside DS/DF is not supported");
-      pending_boxes.push_back({current_layer, box});
-      ++result.boxes_read;
-    } else if (cmd.op == "C") {
-      if (cmd.tokens.empty()) throw Error("CIF: C needs a symbol number");
-      const int callee = static_cast<int>(to_int(cmd.tokens[0]));
-      Placement placement = parse_call_transform(cmd.tokens, 1);
-      placement.location = {scaled(placement.location.x), scaled(placement.location.y)};
-      if (open_symbol) {
-        pending_calls.emplace_back(callee, placement);
-      } else {
-        top_calls.emplace_back(callee, placement);
-      }
-      ++result.calls_read;
-    } else if (cmd.op == "9") {
-      if (cmd.tokens.empty()) throw Error("CIF: 9 needs a name");
-      pending_name = cmd.tokens[0];
-    } else if (cmd.op == "94") {
-      if (cmd.tokens.size() < 3) throw Error("CIF: 94 needs text x y");
-      pending_labels.push_back(
-          {cmd.tokens[0], {scaled(to_int(cmd.tokens[1])), scaled(to_int(cmd.tokens[2]))}});
-    } else if (cmd.op == "E") {
-      break;
-    } else {
-      throw Error("CIF: unsupported command '" + cmd.op + "'");
+  CifPullParser::Event event;
+  while (parser.next(event)) {
+    switch (event.kind) {
+      case CifPullParser::EventKind::kBeginSymbol:
+        break;  // scale handling lives in the parser
+      case CifPullParser::EventKind::kEndSymbol:
+        flush_symbol(event.symbol);
+        break;
+      case CifPullParser::EventKind::kBox:
+        pending_boxes.push_back({event.layer, event.box});
+        ++result.boxes_read;
+        break;
+      case CifPullParser::EventKind::kLabel:
+        pending_labels.push_back({event.name, event.at});
+        break;
+      case CifPullParser::EventKind::kSymbolName:
+        pending_name = event.name;
+        break;
+      case CifPullParser::EventKind::kCall:
+        (event.top_level ? top_calls : pending_calls).emplace_back(event.callee, event.placement);
+        ++result.calls_read;
+        break;
+      case CifPullParser::EventKind::kEnd:
+        break;
     }
   }
-  if (open_symbol) throw Error("CIF: missing DF");
 
   if (top_calls.size() == 1 && top_calls[0].second == kIdentityPlacement) {
     result.top = symbols.at(top_calls[0].first).name;
@@ -283,6 +368,11 @@ CifReadResult read_cif(const std::string& text, CellTable& cells) {
     result.top = "ciftop";
   }
   return result;
+}
+
+CifReadResult read_cif(const std::string& text, CellTable& cells) {
+  std::istringstream in(text);
+  return read_cif(in, cells);
 }
 
 SampleLayoutStats load_sample_layout_cif(const std::string& text, CellTable& cells,

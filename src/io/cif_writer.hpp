@@ -7,17 +7,72 @@
 // centers are always integral regardless of odd widths. Orientations map to
 // CIF call transforms: mirror-about-y is MX (applied first, matching §2.6's
 // reflect-then-rotate order), rotations become "R a b" direction vectors.
+//
+// Two entry levels:
+//  * CifStreamWriter — the single-pass streaming sink. One begin/emit/end
+//    call per CIF record; nothing is retained between calls except the
+//    bounded byte buffer (stream_writer.hpp), so arbitrarily large layouts
+//    convert through a fixed window.
+//  * write_cif / write_cif_file / cif_to_string — the legacy whole-layout
+//    entry points, reimplemented as a hierarchy walk driving the stream
+//    writer. Byte-identical to the pre-streaming output.
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
 
+#include "io/stream_writer.hpp"
 #include "layout/cell.hpp"
 
 namespace rsg {
 
 // Maps our layers to CIF layer names (CD, CP, CM1, ...). kLabel boxes and
 // labels are emitted as "94" user extension records.
+const char* cif_layer_name(Layer layer);
+
+class CifStreamWriter {
+ public:
+  explicit CifStreamWriter(std::ostream& out,
+                           std::size_t buffer_capacity = BoundedTextSink::kDefaultCapacity)
+      : sink_(out, buffer_capacity) {}
+
+  // File header comment. Call once, before any symbol.
+  void begin();
+
+  // Opens a DS/DF symbol definition and emits its "9 name" record. Returns
+  // the symbol id to pass to emit_call. Symbols cannot nest.
+  int begin_cell(const std::string& name);
+
+  // One "L layer; B ..." record, doubled coordinates (§4.5 convention: each
+  // symbol declares scale 1/2 so odd-sized boxes keep integral centers).
+  void emit_box(Layer layer, const Box& box);
+
+  // One "94 text x y" user extension record.
+  void emit_label(const std::string& text, Point at);
+
+  // A call of an earlier symbol, placed inside the open cell.
+  void emit_call(int callee_id, const Placement& placement);
+
+  void end_cell();  // DF;
+
+  // Top-level call of the root symbol plus the E terminator; flushes.
+  void end(int root_id);
+
+  std::size_t boxes_emitted() const { return boxes_emitted_; }
+  std::size_t peak_buffer_bytes() const { return sink_.peak_bytes(); }
+  std::size_t buffer_capacity() const { return sink_.capacity(); }
+  std::size_t bytes_written() const { return sink_.bytes_written(); }
+
+ private:
+  BoundedTextSink sink_;
+  int next_id_ = 1;
+  bool cell_open_ = false;
+  std::size_t boxes_emitted_ = 0;
+};
+
+// Whole-layout convenience: walks the hierarchy children-first and streams
+// every reachable cell through a CifStreamWriter.
 void write_cif(std::ostream& out, const Cell& root);
 
 void write_cif_file(const std::string& path, const Cell& root);

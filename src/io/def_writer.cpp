@@ -11,18 +11,48 @@
 
 namespace rsg {
 
+void DefStreamWriter::begin(const std::string& name, std::uint64_t box_count) {
+  if (open_) throw Error("DEF stream: begin called twice");
+  open_ = true;
+  declared_boxes_ = box_count;
+  sink_.append("DEF " + name + " " + std::to_string(box_count) + "\n");
+}
+
+void DefStreamWriter::emit_box(const LayerBox& lb) {
+  if (!open_) throw Error("DEF stream: emit_box before begin");
+  std::string record = "RECT ";
+  record += layer_name(lb.layer);
+  record += " " + std::to_string(lb.box.lo.x) + " " + std::to_string(lb.box.lo.y) + " " +
+            std::to_string(lb.box.hi.x) + " " + std::to_string(lb.box.hi.y) + "\n";
+  sink_.append(record);
+  ++boxes_emitted_;
+}
+
+void DefStreamWriter::end() {
+  if (!open_) throw Error("DEF stream: end before begin");
+  if (boxes_emitted_ != declared_boxes_) {
+    throw Error("DEF stream: header declared " + std::to_string(declared_boxes_) +
+                " boxes but " + std::to_string(boxes_emitted_) + " were emitted");
+  }
+  open_ = false;
+  sink_.append("END\n");
+  sink_.flush();
+}
+
 void write_def(std::ostream& out, const Cell& root) {
+  // The whole-layout step: DEF's contract is a sorted, deterministic dump,
+  // so the legacy path materializes the flat geometry to sort it before
+  // streaming. Producers that already emit sorted boxes can drive
+  // DefStreamWriter directly with no materialization.
   std::vector<LayerBox> boxes = flatten_boxes(root);
   std::sort(boxes.begin(), boxes.end(), [](const LayerBox& a, const LayerBox& b) {
     return std::tuple(static_cast<int>(a.layer), a.box.lo.x, a.box.lo.y, a.box.hi.x, a.box.hi.y) <
            std::tuple(static_cast<int>(b.layer), b.box.lo.x, b.box.lo.y, b.box.hi.x, b.box.hi.y);
   });
-  out << "DEF " << root.name() << " " << boxes.size() << "\n";
-  for (const LayerBox& lb : boxes) {
-    out << "RECT " << layer_name(lb.layer) << " " << lb.box.lo.x << " " << lb.box.lo.y << " "
-        << lb.box.hi.x << " " << lb.box.hi.y << "\n";
-  }
-  out << "END\n";
+  DefStreamWriter writer(out);
+  writer.begin(root.name(), boxes.size());
+  for (const LayerBox& lb : boxes) writer.emit_box(lb);
+  writer.end();
 }
 
 void write_def_file(const std::string& path, const Cell& root) {

@@ -3,14 +3,52 @@
 // box, sorted, so two layouts can be compared with a string equality — the
 // property tests use this to prove generated layouts are independent of
 // graph traversal order.
+//
+// DefStreamWriter is the single-pass sink: the box count goes in the header,
+// so the producer declares it up front and then streams records through a
+// bounded buffer in whatever order it wants the file to have. The legacy
+// write_def entry point materializes + sorts the flattened boxes (that sort
+// is the documented whole-layout step) and drives the stream writer,
+// byte-identical to the pre-streaming output.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 
+#include "io/stream_writer.hpp"
 #include "layout/cell.hpp"
 
 namespace rsg {
+
+class DefStreamWriter {
+ public:
+  explicit DefStreamWriter(std::ostream& out,
+                           std::size_t buffer_capacity = BoundedTextSink::kDefaultCapacity)
+      : sink_(out, buffer_capacity) {}
+
+  // "DEF <name> <box_count>" header. The count is part of the format, which
+  // is why the streaming API takes it here instead of counting emits.
+  void begin(const std::string& name, std::uint64_t box_count);
+
+  // One "RECT layer lo.x lo.y hi.x hi.y" record, in producer order.
+  void emit_box(const LayerBox& lb);
+
+  // "END" trailer; throws if the emitted count disagrees with the header.
+  void end();
+
+  std::size_t boxes_emitted() const { return boxes_emitted_; }
+  std::size_t peak_buffer_bytes() const { return sink_.peak_bytes(); }
+  std::size_t buffer_capacity() const { return sink_.capacity(); }
+  std::size_t bytes_written() const { return sink_.bytes_written(); }
+
+ private:
+  BoundedTextSink sink_;
+  std::uint64_t declared_boxes_ = 0;
+  std::size_t boxes_emitted_ = 0;
+  bool open_ = false;
+};
 
 void write_def(std::ostream& out, const Cell& root);
 void write_def_file(const std::string& path, const Cell& root);

@@ -1,0 +1,67 @@
+// Bounded-buffer text sink shared by the streaming layout writers.
+//
+// The streaming conversion contract (docs/ARCHITECTURE.md, "Streaming I/O"):
+// a writer never holds layout objects at all — each emit_* call formats one
+// record into a fixed-capacity byte buffer that flushes to the underlying
+// std::ostream before it would overflow. Peak buffer occupancy is tracked so
+// tests can ASSERT the bound instead of observing it
+// (tests/io_test.cpp, bench/bench_io_scaling.cpp).
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace rsg {
+
+class BoundedTextSink {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 64 * 1024;
+
+  explicit BoundedTextSink(std::ostream& out, std::size_t capacity = kDefaultCapacity)
+      : out_(out), capacity_(capacity == 0 ? 1 : capacity) {
+    buffer_.reserve(capacity_);
+  }
+  ~BoundedTextSink() { flush(); }
+
+  BoundedTextSink(const BoundedTextSink&) = delete;
+  BoundedTextSink& operator=(const BoundedTextSink&) = delete;
+
+  // Appends one formatted record. The buffer flushes first whenever the
+  // record would push it past capacity; a single record larger than the
+  // whole capacity bypasses the buffer and streams directly (peak occupancy
+  // still never exceeds capacity).
+  void append(std::string_view text) {
+    if (buffer_.size() + text.size() > capacity_) flush();
+    if (text.size() > capacity_) {
+      out_.write(text.data(), static_cast<std::streamsize>(text.size()));
+      bytes_written_ += text.size();
+      return;
+    }
+    buffer_.append(text);
+    if (buffer_.size() > peak_bytes_) peak_bytes_ = buffer_.size();
+  }
+
+  void flush() {
+    if (buffer_.empty()) return;
+    out_.write(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
+    bytes_written_ += buffer_.size();
+    buffer_.clear();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+  // Largest buffer occupancy ever reached — the testable window bound.
+  std::size_t peak_bytes() const { return peak_bytes_; }
+  // Total bytes pushed to the ostream (excludes anything still buffered).
+  std::size_t bytes_written() const { return bytes_written_; }
+
+ private:
+  std::ostream& out_;
+  std::size_t capacity_;
+  std::string buffer_;
+  std::size_t peak_bytes_ = 0;
+  std::size_t bytes_written_ = 0;
+};
+
+}  // namespace rsg

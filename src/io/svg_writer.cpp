@@ -11,6 +11,8 @@ namespace rsg {
 
 namespace {
 
+constexpr Coord kMargin = 4;
+
 const char* layer_color(Layer layer) {
   switch (layer) {
     case Layer::kDiffusion: return "#2e8b57";
@@ -28,51 +30,74 @@ const char* layer_color(Layer layer) {
 
 }  // namespace
 
+int svg_layer_rank(Layer layer) {
+  switch (layer) {
+    case Layer::kWell: return 0;
+    case Layer::kImplant: return 1;
+    case Layer::kDiffusion: return 2;
+    case Layer::kPoly: return 3;
+    case Layer::kContact: return 4;
+    case Layer::kMetal1: return 5;
+    case Layer::kMetal2: return 6;
+    case Layer::kContactCut: return 7;
+    case Layer::kLabel: return 8;
+  }
+  return 9;
+}
+
+void SvgStreamWriter::begin(const std::string& cell_name, const Box& bbox) {
+  if (open_) throw Error("SVG stream: begin called twice");
+  open_ = true;
+  const Box framed = bbox.inflated(kMargin);
+  const Coord width = std::max<Coord>(framed.width(), 1);
+  const Coord height = std::max<Coord>(framed.height(), 1);
+  std::string record = "<svg xmlns=\"http://www.w3.org/2000/svg\" viewBox=\"";
+  record += std::to_string(framed.lo.x) + " " + std::to_string(-framed.hi.y) + " " +
+            std::to_string(width) + " " + std::to_string(height) + "\">\n";
+  record += "<!-- cell: " + cell_name + " -->\n";
+  sink_.append(record);
+}
+
+void SvgStreamWriter::emit_box(const LayerBox& lb) {
+  if (!open_) throw Error("SVG stream: emit_box before begin");
+  if (lb.layer == Layer::kLabel) return;
+  // SVG's y axis grows downward; negate y.
+  std::string record = "<rect x=\"" + std::to_string(lb.box.lo.x) + "\" y=\"" +
+                       std::to_string(-lb.box.hi.y) + "\" width=\"" +
+                       std::to_string(lb.box.width()) + "\" height=\"" +
+                       std::to_string(lb.box.height()) + "\" fill=\"";
+  record += layer_color(lb.layer);
+  record += "\" fill-opacity=\"0.55\"/>\n";
+  sink_.append(record);
+  ++boxes_emitted_;
+}
+
+void SvgStreamWriter::emit_label(const std::string& text, Point at) {
+  if (!open_) throw Error("SVG stream: emit_label before begin");
+  sink_.append("<text x=\"" + std::to_string(at.x) + "\" y=\"" + std::to_string(-at.y) +
+               "\" font-size=\"3\">" + text + "</text>\n");
+}
+
+void SvgStreamWriter::end() {
+  if (!open_) throw Error("SVG stream: end before begin");
+  open_ = false;
+  sink_.append("</svg>\n");
+  sink_.flush();
+}
+
 void write_svg(std::ostream& out, const Cell& root) {
+  // Whole-layout steps the streaming API pushes to the producer: flatten to
+  // get root-coordinate geometry, sort into paint order, and compute the
+  // bounding box for the viewBox.
   FlattenResult flat = flatten(root);
-  Box bbox = root.bounding_box();
-  const Coord margin = 4;
-  bbox = bbox.inflated(margin);
-  const Coord width = std::max<Coord>(bbox.width(), 1);
-  const Coord height = std::max<Coord>(bbox.height(), 1);
-
-  out << "<svg xmlns=\"http://www.w3.org/2000/svg\" viewBox=\"" << bbox.lo.x << " " << -bbox.hi.y
-      << " " << width << " " << height << "\">\n";
-  out << "<!-- cell: " << root.name() << " -->\n";
-
-  // Draw in a stable layer order: wells/implants under diffusion/poly under
-  // metals under cuts.
-  std::stable_sort(flat.boxes.begin(), flat.boxes.end(),
-                   [](const LayerBox& a, const LayerBox& b) {
-                     auto rank = [](Layer l) {
-                       switch (l) {
-                         case Layer::kWell: return 0;
-                         case Layer::kImplant: return 1;
-                         case Layer::kDiffusion: return 2;
-                         case Layer::kPoly: return 3;
-                         case Layer::kContact: return 4;
-                         case Layer::kMetal1: return 5;
-                         case Layer::kMetal2: return 6;
-                         case Layer::kContactCut: return 7;
-                         case Layer::kLabel: return 8;
-                       }
-                       return 9;
-                     };
-                     return rank(a.layer) < rank(b.layer);
-                   });
-
-  for (const LayerBox& lb : flat.boxes) {
-    if (lb.layer == Layer::kLabel) continue;
-    // SVG's y axis grows downward; negate y.
-    out << "<rect x=\"" << lb.box.lo.x << "\" y=\"" << -lb.box.hi.y << "\" width=\""
-        << lb.box.width() << "\" height=\"" << lb.box.height() << "\" fill=\""
-        << layer_color(lb.layer) << "\" fill-opacity=\"0.55\"/>\n";
-  }
-  for (const FlatLabel& fl : flat.labels) {
-    out << "<text x=\"" << fl.at.x << "\" y=\"" << -fl.at.y << "\" font-size=\"3\">"
-        << fl.label.text << "</text>\n";
-  }
-  out << "</svg>\n";
+  std::stable_sort(flat.boxes.begin(), flat.boxes.end(), [](const LayerBox& a, const LayerBox& b) {
+    return svg_layer_rank(a.layer) < svg_layer_rank(b.layer);
+  });
+  SvgStreamWriter writer(out);
+  writer.begin(root.name(), root.bounding_box());
+  for (const LayerBox& lb : flat.boxes) writer.emit_box(lb);
+  for (const FlatLabel& fl : flat.labels) writer.emit_label(fl.label.text, fl.at);
+  writer.end();
 }
 
 void write_svg_file(const std::string& path, const Cell& root) {

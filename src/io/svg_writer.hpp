@@ -2,14 +2,59 @@
 // inspect generated layouts. Flattens the hierarchy and draws each mask
 // layer in a fixed color with transparency so overlapping cells (which the
 // RSG allows and HPLA-style abutment does not, §2.3) remain visible.
+//
+// SvgStreamWriter is the single-pass sink: the viewBox needs the layout's
+// bounding box, so the producer declares it up front and then streams rects
+// (and finally texts) through a bounded buffer. Draw order is paint order —
+// the legacy write_svg entry point materializes the flat geometry to sort
+// it by layer rank before streaming, byte-identical to the pre-streaming
+// output; producers that already emit in layer order need no
+// materialization.
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
 
+#include "io/stream_writer.hpp"
 #include "layout/cell.hpp"
 
 namespace rsg {
+
+class SvgStreamWriter {
+ public:
+  explicit SvgStreamWriter(std::ostream& out,
+                           std::size_t buffer_capacity = BoundedTextSink::kDefaultCapacity)
+      : sink_(out, buffer_capacity) {}
+
+  // Opens the document. `bbox` is the layout's (unmargined) bounding box;
+  // the writer applies the standard margin when deriving the viewBox.
+  void begin(const std::string& cell_name, const Box& bbox);
+
+  // One <rect>. kLabel boxes are skipped (non-mask). Boxes are painted in
+  // emit order; callers wanting the canonical under-to-over layer stacking
+  // emit in layer-rank order (see svg_layer_rank).
+  void emit_box(const LayerBox& lb);
+
+  // One <text> record. Emit after all boxes for the canonical output.
+  void emit_label(const std::string& text, Point at);
+
+  void end();  // </svg> + flush
+
+  std::size_t boxes_emitted() const { return boxes_emitted_; }
+  std::size_t peak_buffer_bytes() const { return sink_.peak_bytes(); }
+  std::size_t buffer_capacity() const { return sink_.capacity(); }
+  std::size_t bytes_written() const { return sink_.bytes_written(); }
+
+ private:
+  BoundedTextSink sink_;
+  bool open_ = false;
+  std::size_t boxes_emitted_ = 0;
+};
+
+// Paint-order rank: wells/implants under diffusion/poly under metals under
+// cuts. The legacy writer stable-sorts by this before streaming.
+int svg_layer_rank(Layer layer);
 
 void write_svg(std::ostream& out, const Cell& root);
 void write_svg_file(const std::string& path, const Cell& root);

@@ -98,10 +98,24 @@ GeneratorResult Generator::run_files(const std::string& sample_path,
                                      const std::string& design_path,
                                      const std::string& param_path,
                                      const std::string& output_path) {
+  const std::string param_text = read_text_file(param_path);
   GeneratorResult result = run(read_text_file(sample_path), read_text_file(design_path),
-                               read_text_file(param_path));
+                               param_text);
   if (!output_path.empty()) write_cif_file(output_path, *result.top);
+  const ParameterFile params = ParameterFile::parse(param_text);
+  if (const std::string* snapshot = params.directive("snapshot_file")) {
+    write_snapshot_file(*snapshot, cells_, result.top->name());
+  }
   return result;
+}
+
+SnapshotReadResult Generator::import_snapshot(const std::string& path) {
+  return read_snapshot_file(path, cells_);
+}
+
+SnapshotWriteStats Generator::export_snapshot(const std::string& path,
+                                              const std::string& root) const {
+  return write_snapshot_file(path, cells_, root);
 }
 
 std::string designs_path(const std::string& filename) {

@@ -23,6 +23,7 @@
 #include "iface/interface_table.hpp"
 #include "io/param_file.hpp"
 #include "io/sample_layout.hpp"
+#include "io/snapshot.hpp"
 #include "lang/interp.hpp"
 #include "layout/cell_table.hpp"
 
@@ -87,9 +88,20 @@ class Generator {
                       const std::string& param_text, const std::string& top_cell = {});
 
   // File-based variant honouring the parameter file's .example_file /
-  // .output_file directives relative to `base_dir`.
+  // .output_file directives relative to `base_dir`. The `.snapshot_file`
+  // directive additionally writes the finished cell table as an RSGB
+  // snapshot (docs/formats/RSGB.md) rooted at the output cell.
   GeneratorResult run_files(const std::string& sample_path, const std::string& design_path,
                             const std::string& param_path, const std::string& output_path = {});
+
+  // Loads an RSGB snapshot into the generator's cell table — e.g. a
+  // previously generated layout reused as a cell library. Cell names must
+  // not collide with cells already in the table.
+  SnapshotReadResult import_snapshot(const std::string& path);
+
+  // Writes the generator's entire cell table as an RSGB snapshot. `root`
+  // names the root cell (empty = none recorded).
+  SnapshotWriteStats export_snapshot(const std::string& path, const std::string& root = {}) const;
 
   CellTable& cells() { return cells_; }
   InterfaceTable& interfaces() { return interfaces_; }

@@ -1,14 +1,24 @@
 // Tests for the I/O layer: sample-layout parsing with by-example interface
-// extraction (including the overlap-region label form of Fig 5.5), and the
-// CIF / DEF / SVG writers.
+// extraction (including the overlap-region label form of Fig 5.5), the
+// CIF / DEF / SVG writers, and the streaming contracts — the legacy
+// whole-layout entry points must be byte-identical to a manually driven
+// stream writer, and the pull-parse → stream-write path must hold its
+// bounded-buffer guarantee on a 100k-box field.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
+#include <tuple>
 
+#include "compact/synth_design.hpp"
+#include "io/cif_reader.hpp"
 #include "io/cif_writer.hpp"
 #include "io/def_writer.hpp"
 #include "io/sample_layout.hpp"
 #include "io/svg_writer.hpp"
+#include "layout/flatten.hpp"
+#include "pla/pla_builder.hpp"
+#include "rsg/generator.hpp"
 #include "support/error.hpp"
 
 namespace rsg {
@@ -207,6 +217,175 @@ TEST_F(WriterTest, SvgMentionsEveryLayerDrawn) {
   EXPECT_NE(svg.find("</svg>"), std::string::npos);
   // 3 boxes + 2 labels-as-text.
   EXPECT_NE(svg.find("<text"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Streaming contracts.
+// ---------------------------------------------------------------------------
+
+// Pull-parses CIF text and forwards every event straight into a
+// CifStreamWriter — the pure streaming path with no materialized layout.
+// Returns the re-emitted text; `parser_peak`/`writer_peak` report the
+// buffer high-water marks for bounded-buffer assertions.
+std::string stream_reemit_cif(const std::string& cif, std::size_t* parser_peak = nullptr,
+                              std::size_t* writer_peak = nullptr) {
+  std::istringstream in(cif);
+  std::ostringstream out;
+  CifPullParser parser(in);
+  CifStreamWriter writer(out);
+  CifPullParser::Event event;
+  int root = 0;
+  writer.begin();
+  while (parser.next(event)) {
+    switch (event.kind) {
+      case CifPullParser::EventKind::kBeginSymbol:
+        break;  // the writer opens the cell on its 9-record
+      case CifPullParser::EventKind::kSymbolName:
+        root = writer.begin_cell(event.name);
+        break;
+      case CifPullParser::EventKind::kBox:
+        writer.emit_box(event.layer, event.box);
+        break;
+      case CifPullParser::EventKind::kLabel:
+        writer.emit_label(event.name, event.at);
+        break;
+      case CifPullParser::EventKind::kCall:
+        // The writer's end() re-emits the single top-level root call.
+        if (event.top_level) {
+          root = event.callee;
+        } else {
+          writer.emit_call(event.callee, event.placement);
+        }
+        break;
+      case CifPullParser::EventKind::kEndSymbol:
+        writer.end_cell();
+        break;
+      case CifPullParser::EventKind::kEnd:
+        writer.end(root);
+        break;
+    }
+  }
+  if (parser_peak != nullptr) *parser_peak = parser.peak_buffer_bytes();
+  if (writer_peak != nullptr) *writer_peak = writer.peak_buffer_bytes();
+  return out.str();
+}
+
+// Drives the DEF/SVG stream writers by hand with the same flatten/sort
+// steps their legacy entry points perform and checks byte identity.
+void expect_stream_writers_match_legacy(const Cell& top) {
+  {
+    std::ostringstream legacy;
+    write_def(legacy, top);
+    std::vector<LayerBox> boxes = flatten_boxes(top);
+    std::sort(boxes.begin(), boxes.end(), [](const LayerBox& a, const LayerBox& b) {
+      return std::tuple(static_cast<int>(a.layer), a.box.lo.x, a.box.lo.y, a.box.hi.x,
+                        a.box.hi.y) < std::tuple(static_cast<int>(b.layer), b.box.lo.x,
+                                                 b.box.lo.y, b.box.hi.x, b.box.hi.y);
+    });
+    std::ostringstream streamed;
+    DefStreamWriter writer(streamed);
+    writer.begin(top.name(), boxes.size());
+    for (const LayerBox& lb : boxes) writer.emit_box(lb);
+    writer.end();
+    EXPECT_EQ(streamed.str(), legacy.str()) << top.name();
+  }
+  {
+    std::ostringstream legacy;
+    write_svg(legacy, top);
+    FlattenResult flat = flatten(top);
+    std::stable_sort(flat.boxes.begin(), flat.boxes.end(),
+                     [](const LayerBox& a, const LayerBox& b) {
+                       return svg_layer_rank(a.layer) < svg_layer_rank(b.layer);
+                     });
+    std::ostringstream streamed;
+    SvgStreamWriter writer(streamed);
+    writer.begin(top.name(), top.bounding_box());
+    for (const LayerBox& lb : flat.boxes) writer.emit_box(lb);
+    for (const FlatLabel& fl : flat.labels) writer.emit_label(fl.label.text, fl.at);
+    writer.end();
+    EXPECT_EQ(streamed.str(), legacy.str()) << top.name();
+  }
+}
+
+// The five seed designs: every layout the repo can generate end-to-end.
+// For each, the streamed CIF re-emission and the hand-driven DEF/SVG
+// stream writers must be byte-identical to the legacy entry points.
+TEST(StreamingIdentity, FiveSeedDesigns) {
+  std::vector<std::pair<std::string, const Cell*>> designs;
+
+  Generator mult;
+  designs.emplace_back("mult", mult.run_files(designs_path("mult.sample"),
+                                              designs_path("mult.rsg"),
+                                              designs_path("mult.par"))
+                                   .top);
+  Generator ram;
+  designs.emplace_back("ram", ram.run_files(designs_path("ram.sample"), designs_path("ram.rsg"),
+                                            designs_path("ram.par"))
+                                  .top);
+  Generator pla_gen;
+  designs.emplace_back("pla", pla::generate_pla(pla_gen, pla::TruthTable::parse(
+                                                             "10-1 101\n"
+                                                             "01-0 110\n"
+                                                             "--11 011\n"
+                                                             "0--- 100\n"))
+                                  .top);
+  Generator folded_gen;
+  designs.emplace_back("folded",
+                       pla::generate_folded_pla(folded_gen, pla::TruthTable::parse(
+                                                                "10-- 1010\n"
+                                                                "01-- 0010\n"
+                                                                "--10 1000\n"
+                                                                "--01 0101\n"
+                                                                "11-- 0001\n"
+                                                                "0011 0100\n"))
+                           .top);
+  Generator decoder_gen;
+  designs.emplace_back("decoder", pla::generate_decoder(decoder_gen, 3).top);
+
+  for (const auto& [name, top] : designs) {
+    ASSERT_NE(top, nullptr) << name;
+    const std::string legacy_cif = cif_to_string(*top);
+    EXPECT_EQ(stream_reemit_cif(legacy_cif), legacy_cif) << name;
+    expect_stream_writers_match_legacy(*top);
+  }
+}
+
+// The memory bound, at the scale the bench acceptance runs: pull-parse a
+// 100k-box field and re-emit it; the parser may hold one read chunk plus
+// one command, the writer at most its fixed capacity.
+TEST(StreamingIdentity, BoundedBuffersOn100kField) {
+  const compact::SynthField field = compact::make_grid_field_of_size(100000);
+  std::ostringstream generated;
+  CifStreamWriter writer(generated);
+  writer.begin();
+  const int id = writer.begin_cell("field");
+  for (const LayerBox& lb : field.boxes) writer.emit_box(lb.layer, lb.box);
+  writer.end_cell();
+  writer.end(id);
+  EXPECT_LE(writer.peak_buffer_bytes(), writer.buffer_capacity());
+
+  const std::string cif = generated.str();
+  EXPECT_GT(cif.size(), 1000000u);  // a genuinely multi-MB layout
+  std::size_t parser_peak = 0, writer_peak = 0;
+  const std::string reemitted = stream_reemit_cif(cif, &parser_peak, &writer_peak);
+  EXPECT_EQ(reemitted, cif);
+  EXPECT_LE(parser_peak, CifPullParser::Options{}.chunk_bytes + 4096);
+  EXPECT_LE(writer_peak, BoundedTextSink::kDefaultCapacity);
+}
+
+// Pathological inputs must stay bounded too: a record larger than the
+// sink's capacity passes straight through instead of growing the buffer.
+TEST(StreamingIdentity, OversizedRecordBypassesBuffer) {
+  std::ostringstream out;
+  BoundedTextSink sink(out, 16);
+  sink.append("0123456789");
+  const std::string big(64, 'x');
+  sink.append(big);
+  sink.append("tail");
+  sink.flush();
+  EXPECT_EQ(out.str(), "0123456789" + big + "tail");
+  EXPECT_LE(sink.peak_bytes(), 16u);
+  EXPECT_EQ(sink.bytes_written(), 78u);
 }
 
 }  // namespace
