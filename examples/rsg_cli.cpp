@@ -17,7 +17,9 @@
 #include "io/snapshot.hpp"
 #include "io/svg_writer.hpp"
 #include "lang/parser.hpp"
+#include "rsg/compiled_design.hpp"
 #include "rsg/generator.hpp"
+#include "rsg/session.hpp"
 
 namespace {
 
@@ -48,6 +50,12 @@ const char kUsage[] =
     "\n"
     "options:\n"
     "  --top <name>        override the top cell choice\n"
+    "  --params-sweep <f>  run the design once per line of <f>: each non-comment\n"
+    "                      line is appended to <params> as an overriding assignment\n"
+    "                      (later assignments win). The design is compiled ONCE and\n"
+    "                      each run is a fresh generation session over the shared\n"
+    "                      compiled base. With -o out.cif, run k writes out.k.cif;\n"
+    "                      without -o, a per-run summary is printed instead of CIF\n"
     "  --stats             print pipeline statistics to stderr\n"
     "  --compact-stats     print per-round compaction telemetry to stderr: extent\n"
     "                      deltas, constraint reuse, solver pops, x/y warm starts\n"
@@ -115,6 +123,7 @@ int main(int argc, char** argv) {
   std::string out_svg;
   std::string out_def;
   std::string top;
+  std::string params_sweep;
   bool stats = false;
   bool compact_stats = false;
   for (int i = 1; i < argc; ++i) {
@@ -140,6 +149,8 @@ int main(int argc, char** argv) {
       snapshot_out = value("--snapshot-out");
     } else if (std::strcmp(argv[i], "--top") == 0) {
       top = value("--top");
+    } else if (std::strcmp(argv[i], "--params-sweep") == 0) {
+      params_sweep = value("--params-sweep");
     } else if (std::strcmp(argv[i], "--stats") == 0) {
       stats = true;
     } else if (std::strcmp(argv[i], "--compact-stats") == 0) {
@@ -152,6 +163,52 @@ int main(int argc, char** argv) {
   }
   const bool snapshot_mode = !snapshot_in.empty();
   if (snapshot_mode ? !inputs.empty() : inputs.size() != 3) return usage();
+  if (!params_sweep.empty() && snapshot_mode) {
+    std::cerr << "rsg_cli: --params-sweep needs generation mode, not --snapshot-in\n";
+    return 2;
+  }
+
+  if (!params_sweep.empty()) {
+    // Sweep mode: compile the design once, then one generation session per
+    // sweep line over the shared compiled base.
+    try {
+      const std::string base_params = rsg::read_text_file(inputs[2]);
+      const auto compiled = rsg::CompiledDesign::compile(rsg::read_text_file(inputs[0]),
+                                                         rsg::read_text_file(inputs[1]));
+      std::ifstream sweep(params_sweep);
+      if (!sweep) throw rsg::Error("cannot read sweep file '" + params_sweep + "'");
+      std::string line;
+      int run = 0;
+      while (std::getline(sweep, line)) {
+        const std::size_t first = line.find_first_not_of(" \t\r");
+        if (first == std::string::npos || line[first] == ';' || line[first] == '#') continue;
+        ++run;
+        rsg::GenerationSession session(compiled);
+        const rsg::GeneratorResult result =
+            session.generate(base_params + "\n" + line + "\n", top);
+        if (!out_cif.empty()) {
+          // out.cif -> out.<run>.cif
+          std::string path = out_cif;
+          const std::size_t dot = path.rfind('.');
+          path.insert(dot == std::string::npos ? path.size() : dot,
+                      "." + std::to_string(run));
+          rsg::write_cif_file(path, *result.top);
+          std::cout << "wrote " << path << "\n";
+        } else {
+          std::cout << "run " << run << ": " << line.substr(first) << " -> "
+                    << result.top->name() << ", " << result.top->flattened_box_count()
+                    << " boxes, bbox " << result.top->bounding_box() << "\n";
+        }
+        if (compact_stats) print_compact_stats(result);
+      }
+      if (run == 0) throw rsg::Error("sweep file '" + params_sweep + "' has no runs");
+      if (stats) std::cerr << "sweep:          " << run << " runs, compiled once\n";
+    } catch (const std::exception& e) {
+      std::cerr << "rsg_cli: " << e.what() << "\n";
+      return 1;
+    }
+    return 0;
+  }
 
   try {
     rsg::Generator generator;

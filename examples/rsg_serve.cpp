@@ -1,0 +1,223 @@
+// rsg_serve — the RSG generator as a local design server.
+//
+// Compiles each registered design ONCE at startup (sample layout parsed,
+// design program to AST) and then serves parameterized generate requests
+// over an AF_UNIX socket, each in a fresh GenerationSession overlaid on the
+// shared CompiledDesign. Responses are cached by full request personality,
+// so re-running a sweep is free after the first pass.
+//
+// Server:   rsg_serve --socket /tmp/rsg.sock [--threads N] [--cache N]
+// Client:   rsg_serve --socket /tmp/rsg.sock --request mult
+//               [--params-file mult.par] [--top cell] [--compact] [-o out.cif]
+//           rsg_serve --socket /tmp/rsg.sock --shutdown
+//
+// The five seed designs (designs/README.md) register by default: mult, pla,
+// pla_folded, decoder, ram. --design name=sample.rsg:design.rsg adds more.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "io/param_file.hpp"
+#include "pla/pla_builder.hpp"
+#include "pla/truth_table.hpp"
+#include "rsg/compiled_design.hpp"
+#include "rsg/pipeline.hpp"
+#include "rsg/serve_core.hpp"
+#include "rsg/serve_socket.hpp"
+#include "support/error.hpp"
+
+namespace {
+
+constexpr const char* kUsage = R"(rsg_serve — RSG generation server over a local socket
+
+Server mode (default):
+  rsg_serve --socket PATH [options]
+    --threads N          worker threads (default: hardware concurrency)
+    --cache N            LRU response-cache capacity, 0 disables (default 64)
+    --design NAME=SAMPLE:DESIGN
+                         register an extra design from two files
+                         (repeatable; seed designs register automatically)
+
+Client mode:
+  rsg_serve --socket PATH --request DESIGN [options]
+    --params-file FILE   parameter file to send (default: empty)
+    --truth-table FILE   PLA truth-table file to send
+    --top CELL           explicit top cell
+    --compact            request x/y compaction
+    --no-cache           bypass the server's response cache
+    -o FILE              write the returned CIF (default: stdout)
+  rsg_serve --socket PATH --shutdown
+                         ask the server to exit
+
+The server compiles every design once and runs each request in its own
+session over the shared compiled base; concurrent requests never re-parse.
+)";
+
+struct DesignSpec {
+  std::string name;
+  std::string sample_path;
+  std::string design_path;
+};
+
+void register_seed_designs(rsg::ServeCore& core) {
+  const struct {
+    const char* name;
+    const char* sample;
+    const char* design;
+  } seeds[] = {
+      {"mult", "mult.sample", "mult.rsg"},
+      {"pla", "pla.sample", "pla.rsg"},
+      {"pla_folded", "pla.sample", "pla_folded.rsg"},
+      {"decoder", "pla.sample", "decoder.rsg"},
+      {"ram", "ram.sample", "ram.rsg"},
+  };
+  for (const auto& seed : seeds) {
+    core.add_design(seed.name, rsg::read_text_file(rsg::designs_path(seed.sample)),
+                    rsg::read_text_file(rsg::designs_path(seed.design)));
+  }
+}
+
+int run_server(const std::string& socket_path, std::size_t threads, std::size_t cache_capacity,
+               const std::vector<DesignSpec>& extra_designs) {
+  rsg::ServeOptions options;
+  options.num_threads = threads;
+  options.cache_capacity = cache_capacity;
+  options.encoding_parser = [](const std::string& text) {
+    return rsg::pla::to_encoding_table(rsg::pla::TruthTable::parse(text));
+  };
+
+  rsg::ServeCore core(options);
+  register_seed_designs(core);
+  for (const DesignSpec& spec : extra_designs) {
+    core.add_design(spec.name, rsg::read_text_file(spec.sample_path),
+                    rsg::read_text_file(spec.design_path));
+  }
+
+  rsg::SocketServer server(core, socket_path);
+  server.start();
+  std::cout << "rsg_serve: listening on " << socket_path << " (" << core.num_threads()
+            << " workers";
+  for (const std::string& name : core.design_names()) std::cout << ", " << name;
+  std::cout << ")" << std::endl;
+  server.wait();
+  server.stop();
+
+  const rsg::ServeCore::Stats stats = core.stats();
+  std::cout << "rsg_serve: served " << stats.requests << " requests (" << stats.errors
+            << " errors, " << stats.cache.hits << " cache hits)" << std::endl;
+  return 0;
+}
+
+int run_client(const std::string& socket_path, const rsg::GenerateRequest& request,
+               const std::string& output_path) {
+  const rsg::GenerateResponse response = rsg::send_generate_request(socket_path, request);
+  if (!response.ok) {
+    std::cerr << "rsg_serve: server error: " << response.error << "\n";
+    return 1;
+  }
+  std::cerr << "rsg_serve: top cell '" << response.top_cell << "'"
+            << (response.cache_hit ? " (cache hit)" : "") << "\n";
+  if (output_path.empty()) {
+    std::cout << response.cif;
+  } else {
+    std::ofstream out(output_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "rsg_serve: cannot write '" << output_path << "'\n";
+      return 1;
+    }
+    out << response.cif;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  std::size_t threads = 0;
+  std::size_t cache_capacity = 64;
+  std::vector<DesignSpec> extra_designs;
+  bool client_mode = false;
+  bool shutdown_mode = false;
+  rsg::GenerateRequest request;
+  std::string params_file;
+  std::string truth_table_file;
+  std::string output_path;
+
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  auto value = [&](std::size_t& i, const char* flag) -> const std::string& {
+    if (i + 1 >= args.size()) {
+      std::cerr << "rsg_serve: " << flag << " needs a value\n";
+      std::exit(2);
+    }
+    return args[++i];
+  };
+
+  try {
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      const std::string& arg = args[i];
+      if (arg == "--help" || arg == "-h") {
+        std::cout << kUsage;
+        return 0;
+      } else if (arg == "--socket") {
+        socket_path = value(i, "--socket");
+      } else if (arg == "--threads") {
+        threads = static_cast<std::size_t>(std::stoul(value(i, "--threads")));
+      } else if (arg == "--cache") {
+        cache_capacity = static_cast<std::size_t>(std::stoul(value(i, "--cache")));
+      } else if (arg == "--design") {
+        const std::string& spec = value(i, "--design");
+        const std::size_t eq = spec.find('=');
+        const std::size_t colon = spec.find(':', eq == std::string::npos ? 0 : eq);
+        if (eq == std::string::npos || colon == std::string::npos) {
+          std::cerr << "rsg_serve: --design wants NAME=SAMPLE:DESIGN\n";
+          return 2;
+        }
+        extra_designs.push_back({spec.substr(0, eq), spec.substr(eq + 1, colon - eq - 1),
+                                 spec.substr(colon + 1)});
+      } else if (arg == "--request") {
+        client_mode = true;
+        request.design = value(i, "--request");
+      } else if (arg == "--params-file") {
+        params_file = value(i, "--params-file");
+      } else if (arg == "--truth-table") {
+        truth_table_file = value(i, "--truth-table");
+      } else if (arg == "--top") {
+        request.top_cell = value(i, "--top");
+      } else if (arg == "--compact") {
+        request.compact = true;
+      } else if (arg == "--no-cache") {
+        request.bypass_cache = true;
+      } else if (arg == "-o") {
+        output_path = value(i, "-o");
+      } else if (arg == "--shutdown") {
+        shutdown_mode = true;
+      } else {
+        std::cerr << "rsg_serve: unknown argument '" << arg << "' (try --help)\n";
+        return 2;
+      }
+    }
+
+    if (socket_path.empty()) {
+      std::cerr << "rsg_serve: --socket PATH is required (try --help)\n";
+      return 2;
+    }
+
+    if (shutdown_mode) {
+      return rsg::send_shutdown_request(socket_path) ? 0 : 1;
+    }
+    if (client_mode) {
+      if (!params_file.empty()) request.params = rsg::read_text_file(params_file);
+      if (!truth_table_file.empty()) request.truth_table = rsg::read_text_file(truth_table_file);
+      return run_client(socket_path, request, output_path);
+    }
+    return run_server(socket_path, threads, cache_capacity, extra_designs);
+  } catch (const std::exception& e) {
+    std::cerr << "rsg_serve: " << e.what() << "\n";
+    return 1;
+  }
+}

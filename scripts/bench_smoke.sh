@@ -1,14 +1,16 @@
 #!/usr/bin/env sh
 # Builds every benchmark and runs the fast ones, emitting BENCH_smoke.json,
-# BENCH_compact_scaling.json, BENCH_leaf_scaling.json, BENCH_xy_scaling.json
-# and BENCH_io_scaling.json — the artifacts CI uploads to grow the
-# performance trajectory (schemas: docs/BENCHMARKS.md). The xy point doubles
-# as a regression tripwire: the job fails if the incremental schedule is not
-# at least as fast per post-first-round iteration as the scratch schedule at
-# the 10k-box size.
+# BENCH_compact_scaling.json, BENCH_leaf_scaling.json, BENCH_xy_scaling.json,
+# BENCH_io_scaling.json and BENCH_serve_throughput.json — the artifacts CI
+# uploads to grow the performance trajectory (schemas: docs/BENCHMARKS.md).
+# The xy point doubles as a regression tripwire: the job fails if the
+# incremental schedule is not at least as fast per post-first-round iteration
+# as the scratch schedule at the 10k-box size. The serve point asserts the
+# compile-once path is >= 3x compile-per-request, and (on hosts with >= 4
+# cores) that 4 serving threads scale >= 2.5x over 1.
 #
 # Usage: scripts/bench_smoke.sh [build-dir] [smoke.json] [scaling.json]
-#                               [leaf.json] [xy.json] [io.json]
+#                               [leaf.json] [xy.json] [io.json] [serve.json]
 set -eu
 
 BUILD_DIR="${1:-build}"
@@ -17,6 +19,7 @@ SCALING_OUT="${3:-BENCH_compact_scaling.json}"
 LEAF_OUT="${4:-BENCH_leaf_scaling.json}"
 XY_OUT="${5:-BENCH_xy_scaling.json}"
 IO_OUT="${6:-BENCH_io_scaling.json}"
+SERVE_OUT="${7:-BENCH_serve_throughput.json}"
 
 # Portable core count: nproc is not POSIX (absent on stock macOS).
 if command -v nproc >/dev/null 2>&1; then
@@ -41,7 +44,7 @@ run_bench() {
   fi
   "$bin" \
     ${filter:+--benchmark_filter="$filter"} \
-    --benchmark_min_time=0.05s \
+    --benchmark_min_time=0.05 \
     --benchmark_format=json \
     --benchmark_out="$out" \
     --benchmark_out_format=json
@@ -65,6 +68,9 @@ run_bench bench_xy_scaling "$XY_OUT" '/10000$'
 # entry and fails the JSON check below). The 1M acceptance point needs an
 # unfiltered local run.
 run_bench bench_io_scaling "$IO_OUT" '/100000$'
+# The serving stack: compile-once vs compile-per-request, the 1/2/4/8-thread
+# sweep, and cache cold vs hit.
+run_bench bench_serve_throughput "$SERVE_OUT"
 
 # A benchmark that tripped its in-bench assertion still writes JSON; fail
 # on any error_occurred entry rather than uploading a poisoned artifact.
@@ -103,6 +109,44 @@ if speedup < 1.0:
     sys.exit(f"error: incremental x/y schedule regressed below scratch ({speedup:.2f}x < 1.0x)")
 EOF
 
+# Serving tripwires. (1) Compile-once must amortize the sample/AST work:
+# >= 3x over compile-per-request, on any host — the ratio is CPU-bound and
+# does not depend on core count. (2) 4 serving threads must be >= 2.5x the
+# 1-thread rate — but only asserted when the host actually has >= 4 cores
+# (the `cores` counter in the artifact records hardware_concurrency); on
+# smaller runners the sweep is still recorded for the trajectory.
+python3 - "$SERVE_OUT" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    data = json.load(f)
+by_name = {b["name"]: b for b in data.get("benchmarks", []) if "real_time" in b}
+
+per_request = by_name.get("BM_ServeCompilePerRequest")
+once = by_name.get("BM_ServeCompileOnce")
+if per_request is None or once is None:
+    sys.exit("error: BENCH_serve_throughput.json is missing the compile-once pair")
+speedup = per_request["real_time"] / once["real_time"] if once["real_time"] else float("inf")
+print(f"serve compile-once: per-request {per_request['real_time']:.2f} ms, "
+      f"compile-once {once['real_time']:.2f} ms, speedup {speedup:.2f}x")
+if speedup < 3.0:
+    sys.exit(f"error: compile-once speedup below the 3x acceptance bar ({speedup:.2f}x)")
+
+sweep = {int(b["pool_threads"]): b for b in by_name.values()
+         if b["name"].startswith("BM_ServeThreadSweep") and "pool_threads" in b}
+one, four = sweep.get(1), sweep.get(4)
+if one is None or four is None:
+    sys.exit("error: BENCH_serve_throughput.json is missing the 1/4-thread sweep points")
+cores = int(one.get("cores", 0))
+scaling = one["real_time"] / four["real_time"] if four["real_time"] else float("inf")
+print(f"serve thread sweep: 1t {one['real_time']:.2f} ms, 4t {four['real_time']:.2f} ms, "
+      f"scaling {scaling:.2f}x on {cores} core(s)")
+if cores >= 4 and scaling < 2.5:
+    sys.exit(f"error: 1->4 thread scaling below the 2.5x acceptance bar ({scaling:.2f}x)")
+if cores < 4:
+    print(f"note: thread-scaling bar skipped (host has {cores} core(s), bar needs >= 4)")
+EOF
+
 # Every artifact CI uploads must exist and be non-empty — a silently
 # skipped benchmark must fail the job, not upload a hole in the trajectory.
 # Each must also be documented in docs/BENCHMARKS.md: an artifact nobody can
@@ -125,4 +169,5 @@ check_artifact "$SCALING_OUT" BENCH_compact_scaling.json
 check_artifact "$LEAF_OUT" BENCH_leaf_scaling.json
 check_artifact "$XY_OUT" BENCH_xy_scaling.json
 check_artifact "$IO_OUT" BENCH_io_scaling.json
+check_artifact "$SERVE_OUT" BENCH_serve_throughput.json
 exit "$status"

@@ -6,10 +6,11 @@ namespace rsg {
 
 GraphNode* ConnectivityGraph::make_instance(const Cell* cell) {
   if (cell == nullptr) throw LayoutError("mk_instance: null cell definition");
-  GraphNode& node = nodes_.emplace_back();
-  node.cell = cell;
-  node.id = static_cast<int>(nodes_.size()) - 1;
-  return &node;
+  GraphNode* node = arena_ != nullptr ? arena_->create<GraphNode>() : &owned_.emplace_back();
+  node->cell = cell;
+  node->id = static_cast<int>(index_.size());
+  index_.push_back(node);
+  return node;
 }
 
 void ConnectivityGraph::connect(GraphNode* from, GraphNode* to, int interface_index) {

@@ -9,6 +9,12 @@
 // whose tail is the reference instance of the interface. Direction is what
 // disambiguates interfaces between two instances of the same celltype
 // (Figures 3.5–3.7); for distinct celltypes it is redundant but harmless.
+//
+// Node storage is either an owned deque (default) or a caller-supplied
+// per-session Arena (rsg::GenerationSession wires its own in), so concurrent
+// generation runs allocate their graph churn without touching the global
+// heap. Node pointers are stable for the life of the graph either way; when
+// arena-backed, the arena must outlive the graph.
 #pragma once
 
 #include <deque>
@@ -18,6 +24,7 @@
 
 #include "geom/transform.hpp"
 #include "layout/cell.hpp"
+#include "support/arena.hpp"
 
 namespace rsg {
 
@@ -47,6 +54,9 @@ struct GraphNode {
 class ConnectivityGraph {
  public:
   ConnectivityGraph() = default;
+  // Arena-backed nodes: allocation goes through `arena` (which must outlive
+  // the graph); the arena destroys the nodes, not the graph.
+  explicit ConnectivityGraph(Arena* arena) : arena_(arena) {}
   ConnectivityGraph(const ConnectivityGraph&) = delete;
   ConnectivityGraph& operator=(const ConnectivityGraph&) = delete;
 
@@ -60,15 +70,17 @@ class ConnectivityGraph {
   // node is an error: its cell definition is closed.
   void connect(GraphNode* from, GraphNode* to, int interface_index);
 
-  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t node_count() const { return index_.size(); }
   std::size_t edge_count() const { return edge_count_; }
 
   // Nodes in creation order (used by expansion for deterministic output and
   // by tests).
-  const std::deque<GraphNode>& nodes() const { return nodes_; }
+  const std::vector<GraphNode*>& nodes() const { return index_; }
 
  private:
-  std::deque<GraphNode> nodes_;  // deque: stable addresses as the graph grows
+  Arena* arena_ = nullptr;
+  std::deque<GraphNode> owned_;      // storage when no arena (stable addresses)
+  std::vector<GraphNode*> index_;    // all nodes in creation order
   std::size_t edge_count_ = 0;
 };
 

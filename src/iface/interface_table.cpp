@@ -9,7 +9,15 @@ namespace rsg {
 void InterfaceTable::declare(const std::string& cell_a, const std::string& cell_b, int index,
                              const Interface& iface) {
   auto insert_one = [&](const std::string& a, const std::string& b, const Interface& value) {
-    auto [it, inserted] = table_.try_emplace(Key{a, b, index}, value);
+    const Key key{a, b, index};
+    if (base_ != nullptr) {
+      if (const Interface* existing = base_->lookup_nocount(key)) {
+        if (*existing == value) return;  // redundant redeclaration of a base entry
+        throw LayoutError("conflicting redeclaration of interface #" + std::to_string(index) +
+                          " between '" + a + "' and '" + b + "' (declared in the compiled base)");
+      }
+    }
+    auto [it, inserted] = table_.try_emplace(key, value);
     if (!inserted && !(it->second == value)) {
       throw LayoutError("conflicting redeclaration of interface #" + std::to_string(index) +
                         " between '" + a + "' and '" + b + "'");
@@ -19,12 +27,18 @@ void InterfaceTable::declare(const std::string& cell_a, const std::string& cell_
   if (cell_a != cell_b) insert_one(cell_b, cell_a, iface.inverse());
 }
 
+const Interface* InterfaceTable::lookup_nocount(const Key& key) const {
+  auto it = table_.find(key);
+  if (it != table_.end()) return &it->second;
+  return base_ != nullptr ? base_->lookup_nocount(key) : nullptr;
+}
+
 std::optional<Interface> InterfaceTable::find(const std::string& cell_a,
                                               const std::string& cell_b, int index) const {
-  ++lookups_;
-  auto it = table_.find(Key{cell_a, cell_b, index});
-  if (it == table_.end()) return std::nullopt;
-  return it->second;
+  lookups_.fetch_add(1, std::memory_order_relaxed);
+  const Interface* found = lookup_nocount(Key{cell_a, cell_b, index});
+  if (found == nullptr) return std::nullopt;
+  return *found;
 }
 
 Interface InterfaceTable::get(const std::string& cell_a, const std::string& cell_b,
@@ -40,10 +54,13 @@ Interface InterfaceTable::get(const std::string& cell_a, const std::string& cell
 std::vector<int> InterfaceTable::indices(const std::string& cell_a,
                                          const std::string& cell_b) const {
   std::vector<int> result;
-  for (const auto& [key, value] : table_) {
-    if (key.a == cell_a && key.b == cell_b) result.push_back(key.index);
+  for (const InterfaceTable* table = this; table != nullptr; table = table->base_) {
+    for (const auto& [key, value] : table->table_) {
+      if (key.a == cell_a && key.b == cell_b) result.push_back(key.index);
+    }
   }
   std::sort(result.begin(), result.end());
+  result.erase(std::unique(result.begin(), result.end()), result.end());
   return result;
 }
 

@@ -13,8 +13,17 @@
 // Hash-table backed: the expander does one table access per graph node, so
 // "it is imperative that interface lookup be fast" (§4.5) — see
 // bench_interface_table.
+//
+// Like CellTable, a table may be an OVERLAY on an immutable base (the
+// compile-once/run-many split): lookups check the overlay then fall through
+// to the base, new declarations land in the overlay, and base queries go
+// through an uncounted path that never writes the base — even its lookup
+// counter — so concurrent overlays can share one base without a data race.
+// The per-table counter is atomic anyway, because read-only compaction
+// paths take `const InterfaceTable&` and may run on several threads.
 #pragma once
 
+#include <atomic>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -26,10 +35,41 @@ namespace rsg {
 
 class InterfaceTable {
  public:
+  InterfaceTable() = default;
+  // Overlay over `base` (may be nullptr). The base must outlive this table
+  // and must not change while overlays exist.
+  explicit InterfaceTable(const InterfaceTable* base) : base_(base) {}
+
+  InterfaceTable(const InterfaceTable& other)
+      : base_(other.base_),
+        table_(other.table_),
+        lookups_(other.lookups_.load(std::memory_order_relaxed)) {}
+  InterfaceTable& operator=(const InterfaceTable& other) {
+    if (this != &other) {
+      base_ = other.base_;
+      table_ = other.table_;
+      lookups_.store(other.lookups_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+    }
+    return *this;
+  }
+  InterfaceTable(InterfaceTable&& other) noexcept
+      : base_(other.base_),
+        table_(std::move(other.table_)),
+        lookups_(other.lookups_.load(std::memory_order_relaxed)) {}
+  InterfaceTable& operator=(InterfaceTable&& other) noexcept {
+    if (this != &other) {
+      base_ = other.base_;
+      table_ = std::move(other.table_);
+      lookups_.store(other.lookups_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+    }
+    return *this;
+  }
+
   // Loads I_ab under (cell_a, cell_b, index) and, when the cells differ, the
   // inverse under (cell_b, cell_a, index). Re-declaring an identical
   // interface is ignored (HPLA's sample layout contained exactly such
-  // redundant duplicates, §1.2.2); a conflicting redeclaration throws.
+  // redundant duplicates, §1.2.2); a conflicting redeclaration — against
+  // this table or its base — throws.
   void declare(const std::string& cell_a, const std::string& cell_b, int index,
                const Interface& iface);
 
@@ -44,16 +84,21 @@ class InterfaceTable {
   }
 
   // The family of interface indices declared between two cells (Fig 2.3),
-  // sorted ascending.
+  // base and overlay merged, sorted ascending.
   std::vector<int> indices(const std::string& cell_a, const std::string& cell_b) const;
 
-  // Number of stored directed entries (a distinct-cell declaration counts 2,
-  // a same-cell declaration counts 1).
-  std::size_t size() const { return table_.size(); }
+  // Number of stored directed entries including the base's (a distinct-cell
+  // declaration counts 2, a same-cell declaration counts 1).
+  std::size_t size() const {
+    return table_.size() + (base_ != nullptr ? base_->size() : 0);
+  }
 
-  // Total accesses through find/get — instrumentation for E9.
-  std::size_t lookups() const { return lookups_; }
-  void reset_lookup_count() { lookups_ = 0; }
+  // Total accesses through THIS table's find/get — instrumentation for E9.
+  // Overlay lookups that fall through to the base count here, not there.
+  std::size_t lookups() const { return lookups_.load(std::memory_order_relaxed); }
+  void reset_lookup_count() { lookups_.store(0, std::memory_order_relaxed); }
+
+  const InterfaceTable* base() const { return base_; }
 
  private:
   struct Key {
@@ -70,8 +115,13 @@ class InterfaceTable {
     }
   };
 
+  // Overlay-then-base resolution with no counter update anywhere — the
+  // path through which a shared base is always queried.
+  const Interface* lookup_nocount(const Key& key) const;
+
+  const InterfaceTable* base_ = nullptr;
   std::unordered_map<Key, Interface, KeyHash> table_;
-  mutable std::size_t lookups_ = 0;
+  mutable std::atomic<std::size_t> lookups_{0};
 };
 
 }  // namespace rsg

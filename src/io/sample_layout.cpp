@@ -1,6 +1,7 @@
 #include "io/sample_layout.hpp"
 
 #include <sstream>
+#include <utility>
 #include <vector>
 
 #include "iface/interface.hpp"
@@ -100,7 +101,7 @@ class SampleParser {
         ++stats_.points;
       } else if (keyword == "inst") {
         if (line.words.size() != 6) fail(line, "usage: inst <name> <cell> <x> <y> <orientation>");
-        const Cell* sub = cells_.find(line.words[2]);
+        const Cell* sub = std::as_const(cells_).find(line.words[2]);
         if (sub == nullptr) fail(line, "unknown cell '" + line.words[2] + "' (define it first)");
         cell.add_instance(sub,
                           Placement{{parse_coord(line, line.words[3]),

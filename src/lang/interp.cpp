@@ -2,6 +2,7 @@
 
 #include <istream>
 #include <ostream>
+#include <utility>
 
 #include "support/error.hpp"
 
@@ -86,7 +87,7 @@ Value Interpreter::resolve_name(std::string name, const EnvPtr& frame, const Exp
       }
       return *found;
     }
-    const Cell* cell = cells_.find(name);
+    const Cell* cell = std::as_const(cells_).find(name);
     if (cell != nullptr) return Value::cell(cell);
     fail(site, "unbound variable '" + name + "' (not a parameter, local, or cell name)");
   }
@@ -105,7 +106,7 @@ const Cell* Interpreter::coerce_cell(const Value& value, const Expr& site) {
   if (value.is_cell()) return value.as_cell();
   if (value.is_string() || value.is_symbol()) {
     const std::string& name = value.is_string() ? value.as_string() : value.as_symbol().name;
-    const Cell* cell = cells_.find(name);
+    const Cell* cell = std::as_const(cells_).find(name);
     if (cell != nullptr) return cell;
     fail(site, "no cell named '" + name + "' in the cell table");
   }

@@ -5,6 +5,9 @@
 namespace rsg {
 
 Cell& CellTable::create(const std::string& name) {
+  if (base_ != nullptr && base_->contains(name)) {
+    throw LayoutError("cell '" + name + "' is already defined in the compiled base");
+  }
   auto [it, inserted] = cells_.try_emplace(name, nullptr);
   if (!inserted) throw LayoutError("cell '" + name + "' is already defined");
   it->second = std::make_unique<Cell>(name);
@@ -14,7 +17,8 @@ Cell& CellTable::create(const std::string& name) {
 
 const Cell* CellTable::find(const std::string& name) const {
   auto it = cells_.find(name);
-  return it == cells_.end() ? nullptr : it->second.get();
+  if (it != cells_.end()) return it->second.get();
+  return base_ != nullptr ? base_->find(name) : nullptr;
 }
 
 Cell* CellTable::find(const std::string& name) {
@@ -30,7 +34,12 @@ const Cell& CellTable::get(const std::string& name) const {
 
 Cell& CellTable::get(const std::string& name) {
   Cell* cell = find(name);
-  if (cell == nullptr) throw LayoutError("unknown cell '" + name + "'");
+  if (cell == nullptr) {
+    if (base_ != nullptr && base_->contains(name)) {
+      throw LayoutError("cell '" + name + "' is immutable: it belongs to the shared compiled base");
+    }
+    throw LayoutError("unknown cell '" + name + "'");
+  }
   return *cell;
 }
 

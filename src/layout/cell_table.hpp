@@ -5,6 +5,14 @@
 // unresolved name (Figure 4.1) and "it is imperative that variable lookup
 // also be extremely fast"; std::unordered_map plays that role here. Cells
 // are heap-owned so Instance::cell pointers stay stable as the table grows.
+//
+// A table may be constructed as an OVERLAY on an immutable base table (the
+// compile-once/run-many split of rsg::CompiledDesign): const lookups fall
+// through to the base, new cells land in the overlay, and the base is never
+// written — so any number of concurrent overlays can share one base. The
+// non-const find()/get() deliberately resolve overlay cells only: a caller
+// holding a mutable reference must not be handed a cell owned by the shared
+// base.
 #pragma once
 
 #include <memory>
@@ -19,29 +27,44 @@ namespace rsg {
 class CellTable {
  public:
   CellTable() = default;
+  // Overlay over `base` (may be nullptr = no base). The base must outlive
+  // this table and must not change while overlays exist; base cell names
+  // appear in names_in_order() ahead of overlay-created ones.
+  explicit CellTable(const CellTable* base) : base_(base) {
+    if (base_ != nullptr) order_ = base_->order_;
+  }
   CellTable(const CellTable&) = delete;
   CellTable& operator=(const CellTable&) = delete;
   CellTable(CellTable&&) = default;
   CellTable& operator=(CellTable&&) = default;
 
-  // Creates an empty cell. Throws LayoutError if the name already exists.
+  // Creates an empty cell. Throws LayoutError if the name already exists
+  // here or in the base.
   Cell& create(const std::string& name);
 
-  // nullptr when absent.
+  // nullptr when absent. The const overload sees base cells; the mutable
+  // one resolves overlay cells only (base cells are immutable).
   const Cell* find(const std::string& name) const;
   Cell* find(const std::string& name);
 
-  // Throws LayoutError when absent.
+  // Throws LayoutError when absent (the mutable overload also throws,
+  // with a distinct diagnostic, for cells that exist only in the base).
   const Cell& get(const std::string& name) const;
   Cell& get(const std::string& name);
 
-  bool contains(const std::string& name) const { return cells_.contains(name); }
-  std::size_t size() const { return cells_.size(); }
+  bool contains(const std::string& name) const {
+    return cells_.contains(name) || (base_ != nullptr && base_->contains(name));
+  }
+  std::size_t size() const { return cells_.size() + (base_ != nullptr ? base_->size() : 0); }
 
-  // Names in creation order (stable for deterministic output files).
+  // Names in creation order (stable for deterministic output files); for an
+  // overlay, the base's creation order followed by this table's.
   const std::vector<std::string>& names_in_order() const { return order_; }
 
+  const CellTable* base() const { return base_; }
+
  private:
+  const CellTable* base_ = nullptr;
   std::unordered_map<std::string, std::unique_ptr<Cell>> cells_;
   std::vector<std::string> order_;
 };

@@ -1,96 +1,32 @@
 #include "rsg/generator.hpp"
 
-#include <algorithm>
-#include <sstream>
-
 #include "io/cif_writer.hpp"
 #include "lang/parser.hpp"
-#include "layout/flatten.hpp"
 #include "support/error.hpp"
 
 namespace rsg {
 
-namespace {
-
-using Clock = std::chrono::steady_clock;
-
-}  // namespace
-
-Generator::Generator() = default;
+Generator::Generator() : state_(std::make_shared<State>()) {}
 
 GeneratorResult Generator::run(const std::string& sample_text, const std::string& design_text,
                                const std::string& param_text, const std::string& top_cell) {
-  GeneratorResult result;
+  using Clock = std::chrono::steady_clock;
 
   // Phase 1: read the sample layout and build the initial interface table.
   const auto t0 = Clock::now();
-  result.sample_stats = load_sample_layout(sample_text, cells_, interfaces_);
+  const SampleLayoutStats sample_stats =
+      load_sample_layout(sample_text, state_->cells, state_->interfaces);
   const auto t1 = Clock::now();
-  result.times.read_sample = t1 - t0;
 
-  // Phase 2: parse and execute the parameter + design files. The parameter
-  // file populates the global environment first; the design file then runs
-  // immersed in it (§4.1).
+  // Phases 2–3 are the shared run core — identical to a GenerationSession.
   const ParameterFile params = ParameterFile::parse(param_text);
-  lang::Interpreter interp(cells_, interfaces_, graph_);
-  if (encoding_ != nullptr) interp.set_encoding_table(encoding_);
-  params.apply(interp);
   const lang::Program program = lang::parse_program(design_text);
-  interp.run(program);
-  const auto t2 = Clock::now();
-  result.times.execute_design = t2 - t1;
-  result.interp_stats = interp.stats();
-
-  // Pick the top cell: explicit argument, then the .top_cell directive, then
-  // the most recently created cell.
-  std::string top_name = top_cell;
-  if (top_name.empty()) {
-    if (const std::string* directive = params.directive("top_cell")) top_name = *directive;
-  }
-  if (top_name.empty()) {
-    if (cells_.names_in_order().empty()) {
-      throw LayoutError("design file produced no cells — nothing to output");
-    }
-    top_name = cells_.names_in_order().back();
-  }
-  result.top = &cells_.get(top_name);
-
-  // Optional post-generation compaction: the `.compact:xy` directive
-  // enables the default request; set_compaction overrides it. The compacted
-  // flat cell replaces the hierarchical top in the result and the output.
-  CompactionRequest request = compaction_;
-  if (const std::string* mode = params.directive("compact"); mode != nullptr) {
-    if (*mode != "xy") {
-      throw Error("parameter file: unknown .compact mode '" + *mode + "' (expected 'xy')");
-    }
-    request.enabled = true;
-  }
-  if (request.enabled) {
-    const std::vector<LayerBox> flat = flatten_boxes(*result.top);
-    std::vector<bool> stretchable;
-    if (!request.stretchable_layers.empty()) {
-      stretchable.reserve(flat.size());
-      for (const LayerBox& lb : flat) {
-        stretchable.push_back(std::find(request.stretchable_layers.begin(),
-                                        request.stretchable_layers.end(),
-                                        lb.layer) != request.stretchable_layers.end());
-      }
-    }
-    result.compaction =
-        compact::compact_flat_schedule(flat, request.rules, request.flat, request.schedule,
-                                       stretchable);
-    Cell& compacted = cells_.create(top_name + "_compacted");
-    for (const LayerBox& lb : result.compaction.boxes) compacted.add_box(lb.layer, lb.box);
-    result.top = &compacted;
-    result.compacted = true;
-  }
-
-  // Phase 3: write the output (CIF, in memory; callers persist as needed).
-  result.output = cif_to_string(*result.top);
-  const auto t3 = Clock::now();
-  result.times.write_output = t3 - t2;
-
-  result.interface_lookups = interfaces_.lookups();
+  GeneratorResult result =
+      detail::execute_generation(state_->cells, state_->interfaces, state_->graph, program,
+                                 params, top_cell, encoding_, compaction_);
+  result.sample_stats = sample_stats;
+  result.times.read_sample = t1 - t0;
+  result.keepalive = state_;
   return result;
 }
 
@@ -104,22 +40,18 @@ GeneratorResult Generator::run_files(const std::string& sample_path,
   if (!output_path.empty()) write_cif_file(output_path, *result.top);
   const ParameterFile params = ParameterFile::parse(param_text);
   if (const std::string* snapshot = params.directive("snapshot_file")) {
-    write_snapshot_file(*snapshot, cells_, result.top->name());
+    write_snapshot_file(*snapshot, state_->cells, result.top->name());
   }
   return result;
 }
 
 SnapshotReadResult Generator::import_snapshot(const std::string& path) {
-  return read_snapshot_file(path, cells_);
+  return read_snapshot_file(path, state_->cells);
 }
 
 SnapshotWriteStats Generator::export_snapshot(const std::string& path,
                                               const std::string& root) const {
-  return write_snapshot_file(path, cells_, root);
-}
-
-std::string designs_path(const std::string& filename) {
-  return std::string(RSG_DESIGNS_DIR) + "/" + filename;
+  return write_snapshot_file(path, state_->cells, root);
 }
 
 }  // namespace rsg

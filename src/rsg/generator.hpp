@@ -1,4 +1,4 @@
-// The top-level RSG driver (Figure 1.1 / Figure 3.1).
+// The top-level RSG driver (Figure 1.1 / Figure 3.1) — legacy one-shot form.
 //
 // Orchestrates the three inputs — sample layout (graphical), design file
 // (procedural), parameter file (per-case personalization) — through the
@@ -6,76 +6,26 @@
 // under the parameter-file global environment, which builds connectivity
 // graphs and expands them into cells; then write the finished layout.
 //
+// Generator re-reads the sample and re-parses the design on every run. The
+// compile-once/run-many path (rsg/compiled_design.hpp + rsg/session.hpp)
+// splits those costs out; both paths execute the identical run core
+// (rsg/pipeline.hpp), so their outputs are byte-identical. Prefer sessions
+// for servers; Generator remains the convenient form for scripts, tests,
+// and single-shot CLI runs.
+//
 // Per-phase wall-clock times are recorded because §4.5 reports the original
 // split "roughly three equal parts: reading in the source file ..., parsing
 // and executing ..., and writing the output file" — bench_t45_generation
 // reproduces that measurement.
 #pragma once
 
-#include <chrono>
+#include <memory>
 #include <string>
-#include <vector>
 
-#include "compact/design_rule_table.hpp"
-#include "compact/flat_compactor.hpp"
-#include "compact/xy_schedule.hpp"
-#include "graph/connectivity_graph.hpp"
-#include "iface/interface_table.hpp"
-#include "io/param_file.hpp"
-#include "io/sample_layout.hpp"
 #include "io/snapshot.hpp"
-#include "lang/interp.hpp"
-#include "layout/cell_table.hpp"
+#include "rsg/pipeline.hpp"
 
 namespace rsg {
-
-// Post-generation compaction (§6.4 wired into the Figure 1.1 driver): after
-// the design file has assembled the top cell, flatten it, run the
-// alternating x/y schedule, and emit the compacted geometry as the output
-// layout. Requested programmatically via Generator::set_compaction or from
-// the parameter file with the directive `.compact:xy`.
-struct CompactionRequest {
-  // Best effort by default: a generated layout that violates the rule
-  // table on one axis still compacts on the other (the skip is recorded in
-  // GeneratorResult::compaction).
-  static compact::XyScheduleOptions default_schedule() {
-    compact::XyScheduleOptions options;
-    options.best_effort = true;
-    return options;
-  }
-
-  bool enabled = false;
-  compact::CompactionRules rules;  // defaults to the MOSIS lambda table
-  compact::FlatOptions flat;
-  compact::XyScheduleOptions schedule = default_schedule();
-  // Boxes on these layers may shrink to minimum width (buses); all other
-  // boxes stay rigid (devices).
-  std::vector<Layer> stretchable_layers;
-};
-
-struct PhaseTimes {
-  std::chrono::duration<double> read_sample{};
-  std::chrono::duration<double> execute_design{};
-  std::chrono::duration<double> write_output{};
-  std::chrono::duration<double> total() const {
-    return read_sample + execute_design + write_output;
-  }
-};
-
-struct GeneratorResult {
-  // The generated layout. BORROWED from the Generator's cell table: the
-  // Generator must outlive any use of this pointer.
-  const Cell* top = nullptr;
-  std::string output;                  // CIF text (also written to file if requested)
-  PhaseTimes times;
-  SampleLayoutStats sample_stats;
-  lang::Interpreter::Stats interp_stats;
-  std::size_t interface_lookups = 0;
-  // Filled when post-generation compaction ran (see CompactionRequest);
-  // `top` then points at the compacted flat cell.
-  bool compacted = false;
-  compact::XyScheduleResult compaction;
-};
 
 class Generator {
  public:
@@ -83,7 +33,8 @@ class Generator {
 
   // All three inputs as in-memory text. `top_cell` overrides the default top
   // choice (the last cell the design file created); the ".top_cell"
-  // parameter-file directive does the same.
+  // parameter-file directive does the same. The result owns a reference to
+  // the generator's state, so it stays valid after the Generator is gone.
   GeneratorResult run(const std::string& sample_text, const std::string& design_text,
                       const std::string& param_text, const std::string& top_cell = {});
 
@@ -103,9 +54,9 @@ class Generator {
   // names the root cell (empty = none recorded).
   SnapshotWriteStats export_snapshot(const std::string& path, const std::string& root = {}) const;
 
-  CellTable& cells() { return cells_; }
-  InterfaceTable& interfaces() { return interfaces_; }
-  ConnectivityGraph& graph() { return graph_; }
+  CellTable& cells() { return state_->cells; }
+  InterfaceTable& interfaces() { return state_->interfaces; }
+  ConnectivityGraph& graph() { return state_->graph; }
 
   // Attaches a PLA-style encoding table, exposed to the design file through
   // the tt_* builtins (§4). The table must outlive run().
@@ -116,14 +67,18 @@ class Generator {
   void set_compaction(const CompactionRequest& request) { compaction_ = request; }
 
  private:
-  CellTable cells_;
-  InterfaceTable interfaces_;
-  ConnectivityGraph graph_;
+  // Shared so GeneratorResult::keepalive can retain the tables past the
+  // Generator's lifetime. Declaration order matters: graph nodes reference
+  // cells.
+  struct State {
+    CellTable cells;
+    InterfaceTable interfaces;
+    ConnectivityGraph graph;
+  };
+
+  std::shared_ptr<State> state_;
   const lang::Interpreter::EncodingTable* encoding_ = nullptr;
   CompactionRequest compaction_;
 };
-
-// Resolves a data file shipped in the repository's designs/ directory.
-std::string designs_path(const std::string& filename);
 
 }  // namespace rsg

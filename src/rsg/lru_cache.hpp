@@ -1,0 +1,92 @@
+// Thread-safe LRU result cache for the serving layer.
+//
+// rsg_serve keys it on (design, params, top, truth table) and stores the
+// finished response — CIF text, not cell pointers — so cached entries are
+// self-contained and survive the GenerationSession that produced them.
+// Intrusive doubly-linked recency list + unordered_map index: get/put are
+// O(1) plus hashing, under one mutex (serving is generation-bound; the
+// cache is nowhere near the bottleneck).
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+namespace rsg {
+
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class LruCache {
+ public:
+  struct Stats {
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    std::size_t evictions = 0;
+    std::size_t size = 0;
+  };
+
+  // capacity 0 disables the cache entirely: get() always misses, put() is a
+  // no-op. (rsg_serve --cache-size=0 and the benchmark's cache-off arm.)
+  explicit LruCache(std::size_t capacity) : capacity_(capacity) {}
+
+  std::optional<Value> get(const Key& key) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+      ++stats_.misses;
+      return std::nullopt;
+    }
+    ++stats_.hits;
+    entries_.splice(entries_.begin(), entries_, it->second);  // move to front
+    return it->second->value;
+  }
+
+  void put(const Key& key, Value value) {
+    if (capacity_ == 0) return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->value = std::move(value);
+      entries_.splice(entries_.begin(), entries_, it->second);
+      return;
+    }
+    entries_.push_front(Entry{key, std::move(value)});
+    index_.emplace(key, entries_.begin());
+    if (entries_.size() > capacity_) {
+      index_.erase(entries_.back().key);
+      entries_.pop_back();
+      ++stats_.evictions;
+    }
+  }
+
+  Stats stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Stats s = stats_;
+    s.size = entries_.size();
+    return s;
+  }
+
+  void clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.clear();
+    index_.clear();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  struct Entry {
+    Key key;
+    Value value;
+  };
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::list<Entry> entries_;  // front = most recently used
+  std::unordered_map<Key, typename std::list<Entry>::iterator, Hash> index_;
+  Stats stats_;
+};
+
+}  // namespace rsg

@@ -1,0 +1,170 @@
+#include "rsg/serve_core.hpp"
+
+#include <chrono>
+#include <optional>
+#include <utility>
+
+#include "support/error.hpp"
+
+namespace rsg {
+
+namespace {
+
+// Cache key: every request field that can change the response, joined with
+// an unlikely separator. Parameter text is keyed verbatim — two texts that
+// differ only in comments MISS; correctness over hit rate.
+std::string cache_key(const GenerateRequest& request) {
+  std::string key;
+  key.reserve(request.design.size() + request.params.size() + request.top_cell.size() +
+              request.truth_table.size() + 8);
+  const char sep[] = {'\x1f', '\0'};
+  key += request.design;
+  key += sep;
+  key += request.params;
+  key += sep;
+  key += request.top_cell;
+  key += sep;
+  key += request.truth_table;
+  key += sep;
+  key += request.compact ? '1' : '0';
+  return key;
+}
+
+}  // namespace
+
+ServeCore::ServeCore(ServeOptions options)
+    : options_(std::move(options)), cache_(options_.cache_capacity) {
+  std::size_t threads = options_.num_threads;
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ServeCore::~ServeCore() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ServeCore::add_design(const std::string& name,
+                           std::shared_ptr<const CompiledDesign> design) {
+  if (design == nullptr) throw Error("ServeCore::add_design: null design '" + name + "'");
+  designs_[name] = std::move(design);
+}
+
+void ServeCore::add_design(const std::string& name, const std::string& sample_text,
+                           const std::string& design_text, const CompileOptions& options) {
+  add_design(name, CompiledDesign::compile(sample_text, design_text, options));
+}
+
+std::vector<std::string> ServeCore::design_names() const {
+  std::vector<std::string> names;
+  names.reserve(designs_.size());
+  for (const auto& [name, design] : designs_) names.push_back(name);
+  return names;
+}
+
+std::future<GenerateResponse> ServeCore::submit(GenerateRequest request) {
+  Job job;
+  job.request = std::move(request);
+  std::future<GenerateResponse> future = job.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (stopping_) {
+      job.promise.set_value(
+          GenerateResponse{false, "server is shutting down", {}, {}, false, 0.0});
+      return future;
+    }
+    queue_.push(std::move(job));
+  }
+  queue_cv_.notify_one();
+  return future;
+}
+
+GenerateResponse ServeCore::handle(const GenerateRequest& request) {
+  GenerateResponse response;
+
+  auto design_it = designs_.find(request.design);
+  if (design_it == designs_.end()) {
+    response.error = "unknown design '" + request.design + "'";
+  } else {
+    const std::string key = cache_key(request);
+    if (!request.bypass_cache) {
+      if (std::optional<GenerateResponse> hit = cache_.get(key)) {
+        hit->cache_hit = true;
+        hit->generate_ms = 0.0;
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++requests_;
+        return *hit;
+      }
+    }
+    try {
+      GenerationSession session(design_it->second);
+      std::optional<lang::Interpreter::EncodingTable> encoding;
+      if (!request.truth_table.empty()) {
+        if (!options_.encoding_parser) {
+          throw Error("request carries a truth table but the server has no encoding parser");
+        }
+        encoding = options_.encoding_parser(request.truth_table);
+        session.set_encoding_table(&*encoding);
+      }
+      if (request.compact) {
+        CompactionRequest compaction;
+        compaction.enabled = true;
+        session.set_compaction(compaction);
+      }
+      const auto t0 = std::chrono::steady_clock::now();
+      GeneratorResult result = session.generate(request.params, request.top_cell);
+      const std::chrono::duration<double, std::milli> elapsed =
+          std::chrono::steady_clock::now() - t0;
+      response.ok = true;
+      response.cif = std::move(result.output);
+      response.top_cell = result.top->name();
+      response.generate_ms = elapsed.count();
+      if (!request.bypass_cache) cache_.put(key, response);
+    } catch (const std::exception& e) {
+      response = GenerateResponse{};
+      response.error = e.what();
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  ++requests_;
+  if (!response.ok) ++errors_;
+  return response;
+}
+
+ServeCore::Stats ServeCore::stats() const {
+  Stats stats;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats.requests = requests_;
+    stats.errors = errors_;
+  }
+  stats.cache = cache_.stats();
+  return stats;
+}
+
+void ServeCore::worker_loop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      job = std::move(queue_.front());
+      queue_.pop();
+    }
+    job.promise.set_value(handle(job.request));
+  }
+}
+
+}  // namespace rsg

@@ -1,0 +1,120 @@
+// Transport-agnostic serving core: compile once, generate many, cache.
+//
+// ServeCore owns a registry of named CompiledDesigns, a worker thread pool,
+// and an LRU cache of finished responses keyed on the full request
+// personality (design, parameter text, top cell, truth table, compaction).
+// Each request runs in a fresh GenerationSession overlaid on the shared
+// compiled base, so requests for the same design execute concurrently
+// without synchronizing on anything but the cache.
+//
+// Transport lives elsewhere (serve_socket.hpp wires this to an AF_UNIX
+// socket; tests and benchmarks call it directly). Responses carry plain
+// strings — no layout pointers — so they are valid forever regardless of
+// which session produced them, and cache entries need no lifetime support.
+//
+// PLA-style designs need an encoding table derived from a truth table;
+// that conversion lives in the pla layer ABOVE this one, so it is injected
+// via ServeOptions::encoding_parser instead of being linked in.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "rsg/compiled_design.hpp"
+#include "rsg/lru_cache.hpp"
+#include "rsg/session.hpp"
+
+namespace rsg {
+
+struct GenerateRequest {
+  std::string design;       // registered design name
+  std::string params;       // parameter-file text (may be empty)
+  std::string top_cell;     // optional explicit top (empty = default choice)
+  std::string truth_table;  // optional PLA truth-table text (needs encoding_parser)
+  bool compact = false;     // request default x/y compaction of the top cell
+  bool bypass_cache = false;
+};
+
+struct GenerateResponse {
+  bool ok = false;
+  std::string error;     // set when !ok
+  std::string cif;       // CIF text of the generated (possibly compacted) top
+  std::string top_cell;  // resolved top cell name
+  bool cache_hit = false;
+  double generate_ms = 0.0;  // server-side generation time (0 on cache hits)
+};
+
+struct ServeOptions {
+  std::size_t num_threads = 0;     // 0 = hardware_concurrency (min 1)
+  std::size_t cache_capacity = 64;  // responses; 0 disables caching
+  // Parses truth-table text into an interpreter encoding table (wire in
+  // pla::to_encoding_table ∘ TruthTable::parse). Unset = truth-table
+  // requests are rejected.
+  std::function<lang::Interpreter::EncodingTable(const std::string&)> encoding_parser;
+};
+
+class ServeCore {
+ public:
+  explicit ServeCore(ServeOptions options = {});
+  ~ServeCore();  // drains queued requests, then joins the workers
+
+  ServeCore(const ServeCore&) = delete;
+  ServeCore& operator=(const ServeCore&) = delete;
+
+  // Registers a compiled design under `name`, replacing any previous one.
+  // Not thread-safe against in-flight requests — register before serving.
+  void add_design(const std::string& name, std::shared_ptr<const CompiledDesign> design);
+  // Compile-and-register convenience.
+  void add_design(const std::string& name, const std::string& sample_text,
+                  const std::string& design_text, const CompileOptions& options = {});
+  std::vector<std::string> design_names() const;
+
+  // Enqueues the request on the worker pool.
+  std::future<GenerateResponse> submit(GenerateRequest request);
+
+  // Runs the request synchronously on the calling thread (the pool is not
+  // involved; benchmarks use this to control the thread count themselves).
+  GenerateResponse handle(const GenerateRequest& request);
+
+  struct Stats {
+    std::size_t requests = 0;  // handled (including failures)
+    std::size_t errors = 0;
+    LruCache<std::string, GenerateResponse>::Stats cache;
+  };
+  Stats stats() const;
+
+  std::size_t num_threads() const { return workers_.size(); }
+
+ private:
+  struct Job {
+    GenerateRequest request;
+    std::promise<GenerateResponse> promise;
+  };
+
+  void worker_loop();
+
+  ServeOptions options_;
+  std::map<std::string, std::shared_ptr<const CompiledDesign>> designs_;
+  LruCache<std::string, GenerateResponse> cache_;
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::queue<Job> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+
+  mutable std::mutex stats_mutex_;
+  std::size_t requests_ = 0;
+  std::size_t errors_ = 0;
+};
+
+}  // namespace rsg

@@ -1,0 +1,314 @@
+#include "rsg/serve_socket.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <condition_variable>
+#include <cstring>
+
+#include "support/error.hpp"
+
+namespace rsg {
+
+namespace {
+
+// Defensive bound on incoming frames; a design server's requests are
+// parameter files (KBs), not layouts.
+constexpr std::uint32_t kMaxFrameBytes = 64u * 1024u * 1024u;
+
+void append_u32(std::string& out, std::uint32_t value) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<char>((value >> shift) & 0xFF));
+  }
+}
+
+void append_string(std::string& out, const std::string& value) {
+  append_u32(out, static_cast<std::uint32_t>(value.size()));
+  out += value;
+}
+
+class Reader {
+ public:
+  explicit Reader(const std::string& payload) : payload_(payload) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return static_cast<std::uint8_t>(payload_[pos_++]);
+  }
+
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t value = 0;
+    for (int shift = 0; shift < 32; shift += 8) {
+      value |= static_cast<std::uint32_t>(static_cast<unsigned char>(payload_[pos_++])) << shift;
+    }
+    return value;
+  }
+
+  std::string string() {
+    const std::uint32_t length = u32();
+    need(length);
+    std::string value = payload_.substr(pos_, length);
+    pos_ += length;
+    return value;
+  }
+
+ private:
+  void need(std::size_t bytes) {
+    if (payload_.size() - pos_ < bytes) throw Error("serve protocol: truncated frame");
+  }
+
+  const std::string& payload_;
+  std::size_t pos_ = 0;
+};
+
+// Full-buffer read/write over a blocking socket.
+bool write_all(int fd, const char* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool read_all(int fd, char* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::read(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;  // peer closed mid-frame
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool write_frame(int fd, const std::string& payload) {
+  std::string header;
+  append_u32(header, static_cast<std::uint32_t>(payload.size()));
+  return write_all(fd, header.data(), header.size()) &&
+         write_all(fd, payload.data(), payload.size());
+}
+
+bool read_frame(int fd, std::string& payload) {
+  char header[4];
+  if (!read_all(fd, header, sizeof header)) return false;
+  std::uint32_t length = 0;
+  for (int i = 3; i >= 0; --i) {
+    length = (length << 8) | static_cast<unsigned char>(header[i]);
+  }
+  if (length > kMaxFrameBytes) return false;
+  payload.resize(length);
+  return length == 0 || read_all(fd, payload.data(), length);
+}
+
+int connect_to(const std::string& socket_path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof addr.sun_path) {
+    throw Error("socket path too long: " + socket_path);
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw Error("socket(): " + std::string(std::strerror(errno)));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    throw Error("connect('" + socket_path + "'): " + std::strerror(saved));
+  }
+  return fd;
+}
+
+}  // namespace
+
+std::string encode_generate_request(const GenerateRequest& request) {
+  std::string payload;
+  payload.push_back(static_cast<char>(kServeOpGenerate));
+  append_string(payload, request.design);
+  append_string(payload, request.params);
+  append_string(payload, request.top_cell);
+  append_string(payload, request.truth_table);
+  payload.push_back(request.compact ? 1 : 0);
+  payload.push_back(request.bypass_cache ? 1 : 0);
+  return payload;
+}
+
+GenerateRequest decode_generate_request(const std::string& payload) {
+  Reader reader(payload);
+  if (reader.u8() != kServeOpGenerate) {
+    throw Error("serve protocol: expected a generate frame");
+  }
+  GenerateRequest request;
+  request.design = reader.string();
+  request.params = reader.string();
+  request.top_cell = reader.string();
+  request.truth_table = reader.string();
+  request.compact = reader.u8() != 0;
+  request.bypass_cache = reader.u8() != 0;
+  return request;
+}
+
+std::string encode_generate_response(const GenerateResponse& response) {
+  std::string payload;
+  payload.push_back(response.ok ? 1 : 0);
+  payload.push_back(response.cache_hit ? 1 : 0);
+  append_string(payload, response.error);
+  append_string(payload, response.cif);
+  append_string(payload, response.top_cell);
+  return payload;
+}
+
+GenerateResponse decode_generate_response(const std::string& payload) {
+  Reader reader(payload);
+  GenerateResponse response;
+  response.ok = reader.u8() != 0;
+  response.cache_hit = reader.u8() != 0;
+  response.error = reader.string();
+  response.cif = reader.string();
+  response.top_cell = reader.string();
+  return response;
+}
+
+SocketServer::SocketServer(ServeCore& core, std::string socket_path)
+    : core_(core), socket_path_(std::move(socket_path)) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path_.size() >= sizeof addr.sun_path) {
+    throw Error("socket path too long: " + socket_path_);
+  }
+  std::memcpy(addr.sun_path, socket_path_.c_str(), socket_path_.size() + 1);
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw Error("socket(): " + std::string(std::strerror(errno)));
+  ::unlink(socket_path_.c_str());  // stale socket from a crashed server
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    const int saved = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw Error("bind('" + socket_path_ + "'): " + std::strerror(saved));
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    const int saved = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(socket_path_.c_str());
+    throw Error("listen('" + socket_path_ + "'): " + std::strerror(saved));
+  }
+}
+
+SocketServer::~SocketServer() {
+  stop();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  ::unlink(socket_path_.c_str());
+}
+
+void SocketServer::start() {
+  if (accept_thread_.joinable()) return;
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void SocketServer::stop() {
+  if (!stopping_.exchange(true)) {
+    // Shut the listening socket down to wake the blocking accept().
+    if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> connections;
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    connections.swap(connections_);
+  }
+  for (std::thread& connection : connections) connection.join();
+}
+
+void SocketServer::wait() {
+  if (accept_thread_.joinable()) accept_thread_.join();
+}
+
+void SocketServer::accept_loop() {
+  while (!stopping_.load()) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listening socket shut down
+    }
+    if (stopping_.load()) {
+      ::close(fd);
+      break;
+    }
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    connections_.emplace_back([this, fd] { handle_connection(fd); });
+  }
+}
+
+void SocketServer::handle_connection(int fd) {
+  // One connection may carry several frames back-to-back.
+  std::string payload;
+  while (!stopping_.load() && read_frame(fd, payload)) {
+    if (payload.empty()) break;
+    const std::uint8_t opcode = static_cast<std::uint8_t>(payload[0]);
+    if (opcode == kServeOpShutdown) {
+      write_frame(fd, std::string());
+      stopping_.store(true);
+      ::shutdown(listen_fd_, SHUT_RDWR);  // wake accept() so wait() returns
+      break;
+    }
+    if (opcode == kServeOpStats) {
+      const ServeCore::Stats stats = core_.stats();
+      std::string body;
+      append_u32(body, static_cast<std::uint32_t>(stats.requests));
+      append_u32(body, static_cast<std::uint32_t>(stats.errors));
+      append_u32(body, static_cast<std::uint32_t>(stats.cache.hits));
+      append_u32(body, static_cast<std::uint32_t>(stats.cache.misses));
+      append_u32(body, static_cast<std::uint32_t>(stats.cache.evictions));
+      append_u32(body, static_cast<std::uint32_t>(stats.cache.size));
+      if (!write_frame(fd, body)) break;
+      continue;
+    }
+    GenerateResponse response;
+    try {
+      // Block on the pool: the connection thread is just a courier.
+      response = core_.submit(decode_generate_request(payload)).get();
+    } catch (const std::exception& e) {
+      response.ok = false;
+      response.error = e.what();
+    }
+    if (!write_frame(fd, encode_generate_response(response))) break;
+  }
+  ::close(fd);
+}
+
+GenerateResponse send_generate_request(const std::string& socket_path,
+                                       const GenerateRequest& request) {
+  const int fd = connect_to(socket_path);
+  GenerateResponse response;
+  std::string payload;
+  const bool ok = write_frame(fd, encode_generate_request(request)) && read_frame(fd, payload);
+  ::close(fd);
+  if (!ok) throw Error("serve client: connection to '" + socket_path + "' failed mid-request");
+  return decode_generate_response(payload);
+}
+
+bool send_shutdown_request(const std::string& socket_path) {
+  try {
+    const int fd = connect_to(socket_path);
+    std::string payload(1, static_cast<char>(kServeOpShutdown));
+    std::string reply;
+    const bool ok = write_frame(fd, payload) && read_frame(fd, reply);
+    ::close(fd);
+    return ok;
+  } catch (const Error&) {
+    return false;
+  }
+}
+
+}  // namespace rsg

@@ -1,0 +1,84 @@
+// AF_UNIX socket transport for ServeCore.
+//
+// Wire protocol (little-endian):
+//   frame    := u32 payload_length, payload
+//   payload  := u8 opcode, body
+//   opcode   := 1 generate | 2 shutdown | 3 stats
+// A generate body is the request's string fields each as (u32 length,
+// bytes) in order design/params/top_cell/truth_table, then two flag bytes
+// (compact, bypass_cache). A generate response body is u8 ok, u8 cache_hit,
+// then error/cif/top_cell as length-prefixed strings. Stats responds with
+// six u64 counters; shutdown responds with an empty frame, then the server
+// stops accepting.
+//
+// The encode/decode helpers are exposed (and transport-free) so the
+// framing round-trips under test without a socket. The server runs one
+// accept thread plus a thread per connection; each connection is handled
+// synchronously — concurrency comes from concurrent CLIENTS, which is the
+// shape a local design server actually sees.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "rsg/serve_core.hpp"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace rsg {
+
+inline constexpr std::uint8_t kServeOpGenerate = 1;
+inline constexpr std::uint8_t kServeOpShutdown = 2;
+inline constexpr std::uint8_t kServeOpStats = 3;
+
+// Framing (payload only — the u32 frame length is the transport's job).
+std::string encode_generate_request(const GenerateRequest& request);
+GenerateRequest decode_generate_request(const std::string& payload);  // throws Error
+std::string encode_generate_response(const GenerateResponse& response);
+GenerateResponse decode_generate_response(const std::string& payload);  // throws Error
+
+class SocketServer {
+ public:
+  // Binds and listens immediately (throws Error on failure — e.g. a stale
+  // socket file); serving starts with start().
+  SocketServer(ServeCore& core, std::string socket_path);
+  ~SocketServer();  // stop() + unlink
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  void start();
+  // Idempotent; returns once the accept loop and all connection threads
+  // have exited.
+  void stop();
+  // Blocks until a client sends a shutdown frame (or stop() is called).
+  void wait();
+
+  const std::string& socket_path() const { return socket_path_; }
+
+ private:
+  void accept_loop();
+  void handle_connection(int fd);
+
+  ServeCore& core_;
+  std::string socket_path_;
+  int listen_fd_ = -1;
+  std::thread accept_thread_;
+  std::mutex connections_mutex_;
+  std::vector<std::thread> connections_;
+  std::atomic<bool> stopping_{false};
+};
+
+// Client side: one request per call (connect, send, receive, close).
+// Throws Error on transport failures; server-side failures come back as
+// response.ok = false.
+GenerateResponse send_generate_request(const std::string& socket_path,
+                                       const GenerateRequest& request);
+// Asks the server to stop accepting and wake wait(). Returns false if the
+// server could not be reached (already gone counts as success=false but is
+// usually fine for callers).
+bool send_shutdown_request(const std::string& socket_path);
+
+}  // namespace rsg

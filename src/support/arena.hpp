@@ -1,0 +1,120 @@
+// Per-session bump allocator.
+//
+// A GenerationSession owns one Arena and routes its small-object churn
+// (connectivity-graph nodes, session scratch) through it, so N concurrent
+// sessions never contend on the global heap for those allocations and a
+// session's working set is released wholesale when the session dies. The
+// arena is deliberately NOT thread-safe: one arena belongs to one session,
+// and one session runs on one thread at a time — that ownership discipline,
+// not a lock, is the concurrency story.
+//
+// Monotonic chunked storage: allocations bump a pointer within the current
+// chunk; exhausted chunks are retained (their objects stay live) and a new
+// chunk is malloc'd at twice the size up to a cap. Objects with non-trivial
+// destructors created through create<T>() are registered on a finalizer
+// list and destroyed, newest first, when the arena is destroyed or reset.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace rsg {
+
+class Arena {
+ public:
+  static constexpr std::size_t kDefaultChunkBytes = 64 * 1024;
+  static constexpr std::size_t kMaxChunkBytes = 1024 * 1024;
+
+  explicit Arena(std::size_t chunk_bytes = kDefaultChunkBytes)
+      : next_chunk_bytes_(chunk_bytes == 0 ? kDefaultChunkBytes : chunk_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  ~Arena() { run_finalizers(); }
+
+  // Raw storage; never returns nullptr (throws std::bad_alloc). Oversized
+  // requests get a dedicated chunk, so the arena imposes no size ceiling.
+  void* allocate(std::size_t size, std::size_t align = alignof(std::max_align_t)) {
+    if (size == 0) size = 1;
+    std::uintptr_t p = (cursor_ + (align - 1)) & ~static_cast<std::uintptr_t>(align - 1);
+    if (p + size > limit_) {
+      grow(size + align);
+      p = (cursor_ + (align - 1)) & ~static_cast<std::uintptr_t>(align - 1);
+    }
+    cursor_ = p + size;
+    bytes_allocated_ += size;
+    return reinterpret_cast<void*>(p);
+  }
+
+  // Constructs a T in arena storage. Non-trivially-destructible types are
+  // registered for destruction (newest first) at reset()/destruction; the
+  // registration node itself lives in the arena.
+  template <class T, class... Args>
+  T* create(Args&&... args) {
+    T* object = static_cast<T*>(allocate(sizeof(T), alignof(T)));
+    ::new (static_cast<void*>(object)) T(std::forward<Args>(args)...);
+    if constexpr (!std::is_trivially_destructible_v<T>) {
+      auto* node = static_cast<Finalizer*>(allocate(sizeof(Finalizer), alignof(Finalizer)));
+      node->object = object;
+      node->destroy = [](void* o) { static_cast<T*>(o)->~T(); };
+      node->next = finalizers_;
+      finalizers_ = node;
+    }
+    return object;
+  }
+
+  // Destroys registered objects and releases every chunk. Pointers handed
+  // out earlier are dead after this.
+  void reset() {
+    run_finalizers();
+    chunks_.clear();
+    cursor_ = limit_ = 0;
+    bytes_allocated_ = 0;
+  }
+
+  // Telemetry: payload bytes handed out / chunks malloc'd from the global
+  // heap. The chunk count is the arena's whole global-heap footprint.
+  std::size_t bytes_allocated() const { return bytes_allocated_; }
+  std::size_t chunk_count() const { return chunks_.size(); }
+
+ private:
+  struct Finalizer {
+    void* object;
+    void (*destroy)(void*);
+    Finalizer* next;
+  };
+  struct FreeDeleter {
+    void operator()(std::byte* p) const { ::operator delete[](p, std::align_val_t{kChunkAlign}); }
+  };
+  static constexpr std::size_t kChunkAlign = alignof(std::max_align_t);
+
+  void grow(std::size_t at_least) {
+    std::size_t bytes = next_chunk_bytes_;
+    if (bytes < at_least) bytes = at_least;
+    if (next_chunk_bytes_ < kMaxChunkBytes) next_chunk_bytes_ *= 2;
+    auto* raw = static_cast<std::byte*>(::operator new[](bytes, std::align_val_t{kChunkAlign}));
+    chunks_.emplace_back(raw);
+    cursor_ = reinterpret_cast<std::uintptr_t>(raw);
+    limit_ = cursor_ + bytes;
+  }
+
+  void run_finalizers() {
+    for (Finalizer* f = finalizers_; f != nullptr; f = f->next) f->destroy(f->object);
+    finalizers_ = nullptr;
+  }
+
+  std::vector<std::unique_ptr<std::byte[], FreeDeleter>> chunks_;
+  std::uintptr_t cursor_ = 0;
+  std::uintptr_t limit_ = 0;
+  std::size_t next_chunk_bytes_;
+  std::size_t bytes_allocated_ = 0;
+  Finalizer* finalizers_ = nullptr;
+};
+
+}  // namespace rsg

@@ -189,7 +189,9 @@ TEST_P(SimplexMethod, DegenerateTiesDoNotCycle) {
   // The degenerate plateau is a primal phenomenon: the dual engine walks a
   // different vertex sequence (and may fall back), so only the primal
   // engines are pinned to visit it.
-  if (GetParam() != LpMethod::kSparseDual) EXPECT_GT(s.stats.degenerate_pivots, 0);
+  if (GetParam() != LpMethod::kSparseDual) {
+    EXPECT_GT(s.stats.degenerate_pivots, 0);
+  }
 }
 
 }  // namespace
