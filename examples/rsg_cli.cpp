@@ -5,6 +5,7 @@
 //
 // The sample may be the text format (.sample) or CIF (detected by content).
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -58,7 +59,14 @@ const char kUsage[] =
     "                      without -o, a per-run summary is printed instead of CIF\n"
     "  --stats             print pipeline statistics to stderr\n"
     "  --compact-stats     print per-round compaction telemetry to stderr: extent\n"
-    "                      deltas, constraint reuse, solver pops, x/y warm starts\n"
+    "                      deltas, constraint reuse, solver pops, x/y warm starts,\n"
+    "                      shard counts, reconcile iterations, boundary churn\n"
+    "  --compact-shards <n>  solve each compaction pass on <n> concurrent shards\n"
+    "                      (0 = one per core; byte-identical to the serial solve)\n"
+    "  --checkpoint-out <f>  rewrite an RSGC checkpoint of the compaction schedule\n"
+    "                      after every completed round (resume with --checkpoint-in)\n"
+    "  --checkpoint-in <f>   resume the compaction schedule from an RSGC checkpoint;\n"
+    "                      the result is bit-for-bit the uninterrupted run's\n"
     "  -h, --help          show this help\n";
 
 void print_compact_stats(const rsg::GeneratorResult& result) {
@@ -68,8 +76,9 @@ void print_compact_stats(const rsg::GeneratorResult& result) {
     return;
   }
   const rsg::compact::XyScheduleResult& c = result.compaction;
-  std::fprintf(stderr, "compaction:     %d round%s, %s; width %lld -> %lld, height %lld -> %lld\n",
-               c.rounds, c.rounds == 1 ? "" : "s",
+  std::fprintf(stderr,
+               "compaction:     %d/%d round%s, %s; width %lld -> %lld, height %lld -> %lld\n",
+               c.convergence.iterations, c.convergence.cap, c.rounds == 1 ? "" : "s",
                c.converged ? "converged" : "capped (geometry still moving)",
                static_cast<long long>(c.width_before), static_cast<long long>(c.width_after),
                static_cast<long long>(c.height_before), static_cast<long long>(c.height_after));
@@ -77,8 +86,12 @@ void print_compact_stats(const rsg::GeneratorResult& result) {
     std::fprintf(stderr, "                best-effort skips:%s%s\n",
                  c.x_infeasible ? " x" : "", c.y_infeasible ? " y" : "");
   }
-  std::fprintf(stderr, "  %-6s %-6s %-6s %-12s %-8s %-9s %-6s %-8s %-8s\n", "round", "dW", "dH",
-               "constraints", "reused", "pops", "warm", "skipped", "ms");
+  bool sharded = false;
+  for (const RoundStats& r : c.round_stats) sharded = sharded || r.solve_shards > 0;
+  std::fprintf(stderr, "  %-6s %-6s %-6s %-12s %-8s %-9s %-6s %-8s", "round", "dW", "dH",
+               "constraints", "reused", "pops", "warm", "skipped");
+  if (sharded) std::fprintf(stderr, " %-7s %-6s %-8s %-6s", "shards", "recon", "boundary", "churn");
+  std::fprintf(stderr, " %-8s\n", "ms");
   for (const RoundStats& r : c.round_stats) {
     const std::size_t discovered = r.partners_reswept + r.partners_reused;
     char reused[16];
@@ -92,10 +105,15 @@ void print_compact_stats(const rsg::GeneratorResult& result) {
     char skipped[8];
     std::snprintf(skipped, sizeof skipped, "%s%s", r.x_skipped ? "x" : "",
                   r.y_skipped ? "y" : "");
-    std::fprintf(stderr, "  %-6d %-6lld %-6lld %-12zu %-8s %-9zu %-6s %-8s %-8.2f\n", r.round,
+    std::fprintf(stderr, "  %-6d %-6lld %-6lld %-12zu %-8s %-9zu %-6s %-8s", r.round,
                  static_cast<long long>(r.width_delta), static_cast<long long>(r.height_delta),
                  r.constraints_emitted, reused, r.solve_pops, warm,
-                 skipped[0] != '\0' ? skipped : "-", r.wall_ms);
+                 skipped[0] != '\0' ? skipped : "-");
+    if (sharded) {
+      std::fprintf(stderr, " %-7d %-6d %-8zu %-6zu", r.solve_shards, r.reconcile_rounds,
+                   r.boundary_constraints, r.boundary_churn);
+    }
+    std::fprintf(stderr, " %-8.2f\n", r.wall_ms);
   }
 }
 
@@ -124,6 +142,9 @@ int main(int argc, char** argv) {
   std::string out_def;
   std::string top;
   std::string params_sweep;
+  std::string checkpoint_in;
+  std::string checkpoint_out;
+  int compact_shards = 1;
   bool stats = false;
   bool compact_stats = false;
   for (int i = 1; i < argc; ++i) {
@@ -151,6 +172,12 @@ int main(int argc, char** argv) {
       top = value("--top");
     } else if (std::strcmp(argv[i], "--params-sweep") == 0) {
       params_sweep = value("--params-sweep");
+    } else if (std::strcmp(argv[i], "--checkpoint-in") == 0) {
+      checkpoint_in = value("--checkpoint-in");
+    } else if (std::strcmp(argv[i], "--checkpoint-out") == 0) {
+      checkpoint_out = value("--checkpoint-out");
+    } else if (std::strcmp(argv[i], "--compact-shards") == 0) {
+      compact_shards = std::atoi(value("--compact-shards").c_str());
     } else if (std::strcmp(argv[i], "--stats") == 0) {
       stats = true;
     } else if (std::strcmp(argv[i], "--compact-stats") == 0) {
@@ -213,6 +240,16 @@ int main(int argc, char** argv) {
   try {
     rsg::Generator generator;
     rsg::GeneratorResult result;
+    {
+      // Compaction options ride along even while enabled stays false —
+      // the `.compact:xy` directive flips the switch inside the pipeline.
+      rsg::CompactionRequest compaction;
+      compaction.flat.solve_shards = compact_shards;
+      compaction.flat.solve_threads = compact_shards;
+      compaction.checkpoint_in = checkpoint_in;
+      compaction.checkpoint_out = checkpoint_out;
+      generator.set_compaction(compaction);
+    }
 
     if (snapshot_mode) {
       const rsg::SnapshotReadResult loaded = generator.import_snapshot(snapshot_in);

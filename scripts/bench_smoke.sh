@@ -7,7 +7,9 @@
 # incremental schedule is not at least as fast per post-first-round iteration
 # as the scratch schedule at the 10k-box size. The serve point asserts the
 # compile-once path is >= 3x compile-per-request, and (on hosts with >= 4
-# cores) that 4 serving threads scale >= 2.5x over 1.
+# cores) that 4 serving threads scale >= 2.5x over 1. The compact scaling
+# point additionally runs the sharded-solver thread sweep and (on hosts
+# with >= 4 cores) asserts the solve phase is >= 1.5x faster on 4 threads.
 #
 # Usage: scripts/bench_smoke.sh [build-dir] [smoke.json] [scaling.json]
 #                               [leaf.json] [xy.json] [io.json] [serve.json]
@@ -54,10 +56,11 @@ run_bench() {
 }
 
 run_bench bench_orientations "$OUT"
-# The 1k and 10k points of the scaling sweep — fast enough for CI (the
-# naive 10k configuration is ~1/3 s per repetition). Run the binary with no
-# filter locally for the full 1k/10k/50k trajectory.
-run_bench bench_compact_scaling "$SCALING_OUT" '/(1000|10000)$'
+# The 1k and 10k points of the scaling sweep plus the sharded-solver
+# 1/2/4-thread solve sweep — fast enough for CI (the naive 10k
+# configuration is ~1/3 s per repetition). Run the binary with no filter
+# locally for the full 1k/10k/50k trajectory and the 1M sharded point.
+run_bench bench_compact_scaling "$SCALING_OUT" '/(1000|10000)$|BM_SolveShardSweep/10000/'
 # The dense-vs-sparse LP sweep at the CI-sized library counts; the full
 # 2..32-cell trajectory (with the >= 10x headline at 32) needs a local run.
 run_bench bench_leaf_scaling "$LEAF_OUT" '/(2|4|8)$'
@@ -107,6 +110,33 @@ print(f"xy schedule 10k post-first-round: scratch {scratch:.2f} ms, "
       f"incremental {incremental:.2f} ms, speedup {speedup:.2f}x")
 if speedup < 1.0:
     sys.exit(f"error: incremental x/y schedule regressed below scratch ({speedup:.2f}x < 1.0x)")
+EOF
+
+# Sharded-solver tripwire: the solve phase on 4 threads must be >= 1.5x the
+# serial solve — but only asserted when the host actually has >= 4 cores
+# (the `cores` counter records hardware_concurrency, like the serve sweep);
+# on smaller runners the rows are still recorded for the trajectory.
+python3 - "$SCALING_OUT" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    data = json.load(f)
+sweep = {}
+for bench in data.get("benchmarks", []):
+    name = bench.get("name", "")
+    if name.startswith("BM_SolveShardSweep/") and "threads" in bench:
+        sweep[int(bench["threads"])] = bench
+one, four = sweep.get(1), sweep.get(4)
+if one is None or four is None:
+    sys.exit("error: BENCH_compact_scaling.json is missing the 1/4-thread solve sweep points")
+cores = int(one.get("cores", 0))
+speedup = one["real_time"] / four["real_time"] if four["real_time"] else float("inf")
+print(f"sharded solve sweep: 1t {one['real_time']:.2f} ms, 4t {four['real_time']:.2f} ms, "
+      f"speedup {speedup:.2f}x on {cores} core(s)")
+if cores >= 4 and speedup < 1.5:
+    sys.exit(f"error: 4-thread solve-phase speedup below the 1.5x acceptance bar ({speedup:.2f}x)")
+if cores < 4:
+    print(f"note: solve-speedup bar skipped (host has {cores} core(s), bar needs >= 4)")
 EOF
 
 # Serving tripwires. (1) Compile-once must amortize the sample/AST work:

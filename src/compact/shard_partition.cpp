@@ -1,0 +1,208 @@
+#include "compact/shard_partition.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace rsg::compact {
+
+namespace {
+
+// Union-find over variables; constraints are the edges (the implicit
+// origin joins nothing — an anchor does not couple two shards).
+struct UnionFind {
+  std::vector<int> parent;
+
+  explicit UnionFind(std::size_t n) : parent(n) {
+    std::iota(parent.begin(), parent.end(), 0);
+  }
+  int find(int v) {
+    while (parent[static_cast<std::size_t>(v)] != v) {
+      parent[static_cast<std::size_t>(v)] =
+          parent[static_cast<std::size_t>(parent[static_cast<std::size_t>(v)])];
+      v = parent[static_cast<std::size_t>(v)];
+    }
+    return v;
+  }
+  void unite(int a, int b) {
+    a = find(a);
+    b = find(b);
+    if (a != b) parent[static_cast<std::size_t>(a)] = b;
+  }
+};
+
+ShardPlan single_shard(const ConstraintSystem& system) {
+  ShardPlan plan;
+  plan.shard_count = 1;
+  plan.shard_of.assign(system.variable_count(), 0);
+  plan.boundary_var.assign(system.variable_count(), 0);
+  plan.internal.resize(1);
+  plan.internal[0].resize(system.constraint_count());
+  std::iota(plan.internal[0].begin(), plan.internal[0].end(), 0);
+  plan.stats.largest_shard = system.variable_count();
+  return plan;
+}
+
+// Classifies every constraint against shard_of, filling internal/boundary
+// and the boundary-variable marks.
+void classify_constraints(const ConstraintSystem& system, ShardPlan& plan) {
+  plan.internal.assign(static_cast<std::size_t>(plan.shard_count), {});
+  plan.boundary.clear();
+  plan.boundary_var.assign(system.variable_count(), 0);
+  const std::vector<Constraint>& cs = system.constraints();
+  for (std::size_t e = 0; e < cs.size(); ++e) {
+    const Constraint& c = cs[e];
+    const int to_shard = plan.shard_of[static_cast<std::size_t>(c.to)];
+    if (c.from < 0 || plan.shard_of[static_cast<std::size_t>(c.from)] == to_shard) {
+      plan.internal[static_cast<std::size_t>(to_shard)].push_back(e);
+    } else {
+      plan.boundary.push_back(e);
+      plan.boundary_var[static_cast<std::size_t>(c.from)] = 1;
+      plan.boundary_var[static_cast<std::size_t>(c.to)] = 1;
+    }
+  }
+  plan.stats.boundary_constraints = plan.boundary.size();
+  plan.stats.boundary_variables = static_cast<std::size_t>(
+      std::count(plan.boundary_var.begin(), plan.boundary_var.end(), 1));
+  std::vector<std::size_t> sizes(static_cast<std::size_t>(plan.shard_count), 0);
+  for (const int s : plan.shard_of) ++sizes[static_cast<std::size_t>(s)];
+  plan.stats.largest_shard = *std::max_element(sizes.begin(), sizes.end());
+}
+
+}  // namespace
+
+ShardPlan plan_shards(const ConstraintSystem& system, int shard_count) {
+  const std::size_t n = system.variable_count();
+  // A shard needs enough variables to amortize its task; slicing a tiny
+  // system buys nothing and the single-shard plan routes to the serial
+  // solver unchanged.
+  if (shard_count <= 1 || n < static_cast<std::size_t>(shard_count) * 8) {
+    ShardPlan plan = single_shard(system);
+    plan.stats.requested = shard_count;
+    plan.stats.components = n > 0 ? 1 : 0;
+    return plan;
+  }
+
+  ShardPlan plan;
+  plan.shard_count = shard_count;
+  plan.stats.requested = shard_count;
+  const std::vector<Constraint>& cs = system.constraints();
+
+  // Weakly-coupled components: when the graph already falls apart into
+  // enough pieces — and no piece dominates — whole components pack into
+  // shards and NO constraint crosses a shard boundary at all.
+  UnionFind uf(n);
+  for (const Constraint& c : cs) {
+    if (c.from >= 0) uf.unite(c.from, c.to);
+  }
+  std::vector<int> component_of(n);
+  std::vector<std::size_t> component_size;
+  {
+    std::vector<int> id_of_root(n, -1);
+    for (std::size_t v = 0; v < n; ++v) {
+      const int root = uf.find(static_cast<int>(v));
+      int& id = id_of_root[static_cast<std::size_t>(root)];
+      if (id < 0) {
+        id = static_cast<int>(component_size.size());
+        component_size.push_back(0);
+      }
+      component_of[v] = id;
+      ++component_size[static_cast<std::size_t>(id)];
+    }
+  }
+  plan.stats.components = static_cast<int>(component_size.size());
+
+  const std::size_t balanced = (n + static_cast<std::size_t>(shard_count) - 1) /
+                               static_cast<std::size_t>(shard_count);
+  const bool packable =
+      component_size.size() >= static_cast<std::size_t>(shard_count) &&
+      *std::max_element(component_size.begin(), component_size.end()) <= 2 * balanced;
+  if (packable) {
+    // Greedy bin packing, biggest component first into the lightest shard.
+    std::vector<int> order(component_size.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+      return component_size[static_cast<std::size_t>(a)] >
+             component_size[static_cast<std::size_t>(b)];
+    });
+    std::vector<std::size_t> load(static_cast<std::size_t>(shard_count), 0);
+    std::vector<int> shard_of_component(component_size.size(), 0);
+    for (const int comp : order) {
+      const std::size_t lightest = static_cast<std::size_t>(
+          std::min_element(load.begin(), load.end()) - load.begin());
+      shard_of_component[static_cast<std::size_t>(comp)] = static_cast<int>(lightest);
+      load[lightest] += component_size[static_cast<std::size_t>(comp)];
+    }
+    plan.shard_of.resize(n);
+    for (std::size_t v = 0; v < n; ++v) {
+      plan.shard_of[v] = shard_of_component[static_cast<std::size_t>(component_of[v])];
+    }
+    plan.stats.packed_components = true;
+    classify_constraints(system, plan);
+    return plan;
+  }
+
+  // Cut-line path: order variables by initial abscissa (stable on the
+  // index, so the plan is a pure function of the system) and slice the
+  // rank space. Every constraint spans an interval of ranks; a cut at rank
+  // c severs the constraints whose interval straddles it, so the crossing
+  // count per candidate cut is one difference-array sweep.
+  std::vector<std::size_t> by_abscissa(n);
+  std::iota(by_abscissa.begin(), by_abscissa.end(), 0);
+  std::stable_sort(by_abscissa.begin(), by_abscissa.end(), [&](std::size_t a, std::size_t b) {
+    return system.initial(static_cast<int>(a)) < system.initial(static_cast<int>(b));
+  });
+  std::vector<std::size_t> rank(n);
+  for (std::size_t r = 0; r < n; ++r) rank[by_abscissa[r]] = r;
+
+  // crossing[c] = constraints severed by a cut between ranks c-1 and c.
+  std::vector<std::size_t> crossing(n + 1, 0);
+  for (const Constraint& c : cs) {
+    if (c.from < 0) continue;
+    const std::size_t lo = std::min(rank[static_cast<std::size_t>(c.from)],
+                                    rank[static_cast<std::size_t>(c.to)]);
+    const std::size_t hi = std::max(rank[static_cast<std::size_t>(c.from)],
+                                    rank[static_cast<std::size_t>(c.to)]);
+    // Severed by cuts in (lo, hi].
+    ++crossing[lo + 1];
+    --crossing[hi + 1];
+  }
+  for (std::size_t c = 1; c <= n; ++c) crossing[c] += crossing[c - 1];
+
+  // Pick shard_count - 1 cuts near the balance quantiles, each snapped to
+  // the sparsest crossing within a +-window — the "sparse cut line".
+  const std::size_t window =
+      std::max<std::size_t>(1, n / (8 * static_cast<std::size_t>(shard_count)));
+  std::vector<std::size_t> cuts;
+  cuts.reserve(static_cast<std::size_t>(shard_count) - 1);
+  std::size_t previous = 0;
+  for (int k = 1; k < shard_count; ++k) {
+    const std::size_t target =
+        n * static_cast<std::size_t>(k) / static_cast<std::size_t>(shard_count);
+    const std::size_t lo = std::max(previous + 1, target > window ? target - window : 1);
+    const std::size_t hi = std::min(n - 1, target + window);
+    if (lo > hi) continue;  // ran out of rank space; fewer shards result
+    std::size_t best = lo;
+    for (std::size_t c = lo; c <= hi; ++c) {
+      const bool sparser = crossing[c] < crossing[best];
+      const bool as_sparse_but_closer =
+          crossing[c] == crossing[best] &&
+          (c > target ? c - target : target - c) < (best > target ? best - target : target - best);
+      if (sparser || as_sparse_but_closer) best = c;
+    }
+    cuts.push_back(best);
+    previous = best;
+  }
+
+  plan.shard_count = static_cast<int>(cuts.size()) + 1;
+  plan.shard_of.resize(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    const std::size_t r = rank[v];
+    const std::size_t shard = static_cast<std::size_t>(
+        std::upper_bound(cuts.begin(), cuts.end(), r) - cuts.begin());
+    plan.shard_of[v] = static_cast<int>(shard);
+  }
+  classify_constraints(system, plan);
+  return plan;
+}
+
+}  // namespace rsg::compact

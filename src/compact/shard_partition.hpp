@@ -1,0 +1,70 @@
+// Partitioning the per-axis constraint graph for sharded solving.
+//
+// The flat constraint system is a difference-constraint graph whose least
+// solution the schedule solves once per axis pass. Its structure mirrors
+// the layout: constraints connect boxes that see each other across a
+// spacing or a net, so geometry that tiles loosely yields a graph that is
+// wide and shallow — weakly coupled left-to-right. plan_shards exploits
+// that: it slices the variable set along SPARSE CUT LINES of the initial
+// abscissa order (cuts chosen where the fewest constraints cross, the way
+// untangle precomputes partition points in genrestartdata.cc), or — when
+// the graph already falls apart into enough weakly-coupled components —
+// packs whole components into shards with no cut at all.
+//
+// The plan names every crossing explicitly: `boundary` lists the
+// constraints whose endpoints land in different shards and
+// `boundary_var` marks the variables they read or write. Everything else
+// is internal to exactly one shard, so a shard's least solution depends
+// on other shards only through the frozen values of boundary variables —
+// the contract the reconciliation loop in sharded_solver.hpp is built on.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "compact/constraint_graph.hpp"
+
+namespace rsg::compact {
+
+// One convergence story, shared by every capped iterative loop in the
+// compaction stack (the x/y schedule's round cap, the sharded solver's
+// reconciliation cap): how many iterations ran, what the cap was, and
+// whether the loop reached its fixpoint or was cut off.
+struct ConvergenceReport {
+  int iterations = 0;      // iterations actually run
+  int cap = 0;             // the configured hard cap
+  bool converged = false;  // fixpoint reached (not just the cap)
+
+  bool capped() const { return !converged && iterations >= cap; }
+};
+
+struct ShardPlanStats {
+  int requested = 0;                    // shard count asked for
+  int components = 0;                   // weakly-coupled components found
+  bool packed_components = false;       // true: whole-component packing (no cuts)
+  std::size_t boundary_constraints = 0;
+  std::size_t boundary_variables = 0;
+  std::size_t largest_shard = 0;        // variables in the biggest shard
+};
+
+struct ShardPlan {
+  int shard_count = 1;
+  std::vector<int> shard_of;  // per variable
+  // Constraint indices fully inside one shard (origin constraints belong
+  // to the shard of their target), grouped per shard.
+  std::vector<std::vector<std::size_t>> internal;
+  // Constraint indices whose endpoints land in different shards.
+  std::vector<std::size_t> boundary;
+  // Per variable: true when some boundary constraint reads or writes it.
+  std::vector<char> boundary_var;
+  ShardPlanStats stats;
+};
+
+// Plans `shard_count` shards over the system's variables (<= 1, or a
+// system too small to slice, degenerates to the single-shard plan, which
+// the solver treats as "solve serially"). Pure function of the system's
+// constraints and initial abscissas — the same system always yields the
+// same plan, so sharded solves are reproducible run to run.
+ShardPlan plan_shards(const ConstraintSystem& system, int shard_count);
+
+}  // namespace rsg::compact

@@ -1,0 +1,257 @@
+#include "compact/sharded_solver.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <future>
+#include <numeric>
+
+#include "compact/scanline.hpp"
+#include "support/error.hpp"
+
+namespace rsg::compact {
+
+namespace {
+
+// One shard's solve state, persistent across reconciliation rounds: a CSR
+// adjacency over the shard's internal from-keyed constraints (local
+// variable indices), the seeding order for round 0, the incoming boundary
+// constraints, and the SPFA scratch. Workers touch only their own Shard
+// and their own slice of system.values.
+struct Shard {
+  std::vector<int> vars;                // global variable indices
+  std::vector<std::size_t> offsets;     // CSR by local(from), size vars+1
+  std::vector<std::size_t> edges;       // internal constraint indices
+  std::vector<std::size_t> seeds;       // internal constraints, seed order
+  std::vector<std::size_t> incoming;    // boundary constraints targeting us
+  // SPFA scratch, reused round to round (reset per solve).
+  std::vector<int> queue;               // local indices, FIFO by head cursor
+  std::vector<char> in_queue;
+  std::vector<std::size_t> enqueues;
+  SolveStats stats;
+  bool infeasible = false;
+};
+
+// Local fixpoint for one shard. `first_round` seeds every internal
+// constraint (sorted by source initial abscissa, the §6.4.2 order);
+// later rounds re-check only the incoming boundary constraints — the
+// shard's internal constraints still hold from its previous fixpoint, so
+// only the moved boundary inputs can start a cascade. Foreign sources are
+// read through `frozen`, refreshed between rounds by the reconciler.
+void solve_shard(const ConstraintSystem& system, std::vector<Coord>& values,
+                 const std::vector<Coord>& frozen, const std::vector<int>& local_of,
+                 Shard& shard, bool first_round) {
+  const std::vector<Constraint>& cs = system.constraints();
+  const std::size_t local_n = shard.vars.size();
+  shard.queue.clear();
+  std::fill(shard.in_queue.begin(), shard.in_queue.end(), 0);
+  std::fill(shard.enqueues.begin(), shard.enqueues.end(), 0);
+  ++shard.stats.passes;
+
+  auto relax = [&](const Constraint& c, bool foreign_source) {
+    Coord from;
+    if (c.from < 0) {
+      from = 0;
+    } else if (foreign_source) {
+      from = frozen[static_cast<std::size_t>(c.from)];
+    } else {
+      from = values[static_cast<std::size_t>(c.from)];
+    }
+    const Coord bound = from + c.weight;
+    const auto to = static_cast<std::size_t>(c.to);
+    if (values[to] < bound) {
+      values[to] = bound;
+      ++shard.stats.relaxations;
+      const auto local = static_cast<std::size_t>(local_of[to]);
+      if (!shard.in_queue[local]) {
+        // SPFA guard scoped to this round's drain: the k-th enqueue
+        // witnesses a path of >= k edges through the shard, so more than
+        // |shard| enqueues means a positive cycle INSIDE the shard.
+        if (++shard.enqueues[local] > local_n + 1) {
+          shard.infeasible = true;
+          return;
+        }
+        shard.in_queue[local] = 1;
+        shard.queue.push_back(static_cast<int>(local));
+      }
+    }
+  };
+
+  if (first_round) {
+    for (const std::size_t e : shard.seeds) {
+      relax(cs[e], false);
+      if (shard.infeasible) return;
+    }
+  }
+  for (const std::size_t e : shard.incoming) {
+    relax(cs[e], true);
+    if (shard.infeasible) return;
+  }
+  for (std::size_t head = 0; head < shard.queue.size(); ++head) {
+    const auto local = static_cast<std::size_t>(shard.queue[head]);
+    shard.in_queue[local] = 0;
+    ++shard.stats.pops;
+    for (std::size_t e = shard.offsets[local]; e < shard.offsets[local + 1]; ++e) {
+      relax(cs[shard.edges[e]], false);
+      if (shard.infeasible) return;
+    }
+  }
+}
+
+}  // namespace
+
+SolveStats solve_leftmost_sharded(ConstraintSystem& system, const ShardPlan& plan,
+                                  const ShardedSolveOptions& options,
+                                  ShardedSolveStats* out_stats) {
+  if (out_stats != nullptr) *out_stats = {};
+  // Free pitch variables belong to the LP path, and a one-shard plan IS
+  // the serial schedule; both delegate so behavior stays pinned.
+  if (plan.shard_count <= 1 || system.pitch_count() != 0) {
+    if (out_stats != nullptr) {
+      out_stats->shards = 1;
+      out_stats->reconcile = {1, 1, true};
+      out_stats->shard_solves = 1;
+    }
+    return solve_leftmost_worklist(system);
+  }
+
+  const std::size_t n = system.variable_count();
+  const std::vector<Constraint>& cs = system.constraints();
+  const auto shard_count = static_cast<std::size_t>(plan.shard_count);
+
+  // Any least-solution value is bounded by the longest simple path from
+  // the origin, itself bounded by the sum of positive weights. A boundary
+  // variable exceeding this bound can only be fed by a positive cycle
+  // threaded through several shards (local cycles trip the SPFA guard).
+  std::int64_t max_bound = 0;
+  for (const Constraint& c : cs) {
+    if (c.weight > 0) max_bound += static_cast<std::int64_t>(c.weight);
+  }
+
+  std::vector<int> local_of(n, 0);
+  std::vector<Shard> shards(shard_count);
+  for (std::size_t v = 0; v < n; ++v) {
+    auto& shard = shards[static_cast<std::size_t>(plan.shard_of[v])];
+    local_of[v] = static_cast<int>(shard.vars.size());
+    shard.vars.push_back(static_cast<int>(v));
+  }
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    Shard& shard = shards[s];
+    const std::size_t local_n = shard.vars.size();
+    shard.offsets.assign(local_n + 1, 0);
+    shard.in_queue.assign(local_n, 0);
+    shard.enqueues.assign(local_n, 0);
+    shard.queue.reserve(local_n);
+    shard.seeds = plan.internal[s];
+    std::stable_sort(shard.seeds.begin(), shard.seeds.end(), [&](std::size_t i, std::size_t j) {
+      const Coord xa = cs[i].from < 0 ? 0 : system.initial(cs[i].from);
+      const Coord xb = cs[j].from < 0 ? 0 : system.initial(cs[j].from);
+      return xa < xb;
+    });
+    for (const std::size_t e : plan.internal[s]) {
+      if (cs[e].from >= 0) {
+        const auto local = static_cast<std::size_t>(local_of[static_cast<std::size_t>(cs[e].from)]);
+        ++shard.offsets[local + 1];
+      }
+    }
+    for (std::size_t v = 0; v < local_n; ++v) shard.offsets[v + 1] += shard.offsets[v];
+    shard.edges.resize(shard.offsets[local_n]);
+    std::vector<std::size_t> cursor(shard.offsets.begin(), shard.offsets.end() - 1);
+    for (const std::size_t e : plan.internal[s]) {
+      if (cs[e].from >= 0) {
+        const auto local = static_cast<std::size_t>(local_of[static_cast<std::size_t>(cs[e].from)]);
+        shard.edges[cursor[local]++] = e;
+      }
+    }
+  }
+  for (const std::size_t e : plan.boundary) {
+    shards[static_cast<std::size_t>(plan.shard_of[static_cast<std::size_t>(cs[e].to)])]
+        .incoming.push_back(e);
+  }
+
+  std::fill(system.values.begin(), system.values.end(), 0);
+  std::vector<Coord> frozen(n, 0);
+
+  const int threads = resolve_sweep_threads(options.threads);
+  const int cap = options.max_reconcile_rounds > 0 ? options.max_reconcile_rounds
+                                                   : std::max(32, 8 * plan.shard_count);
+  ShardedSolveStats sharded;
+  sharded.shards = plan.shard_count;
+  sharded.boundary_constraints = plan.boundary.size();
+  sharded.reconcile.cap = cap;
+
+  std::vector<std::size_t> active(shard_count);
+  std::iota(active.begin(), active.end(), 0);
+  std::vector<char> dirty(shard_count, 0);
+
+  while (!active.empty() && sharded.reconcile.iterations < cap) {
+    ++sharded.reconcile.iterations;
+    const bool first_round = sharded.reconcile.iterations == 1;
+    sharded.shard_solves += active.size();
+
+    const std::size_t tasks =
+        std::min<std::size_t>(static_cast<std::size_t>(threads), active.size());
+    if (tasks <= 1) {
+      for (const std::size_t s : active) {
+        solve_shard(system, system.values, frozen, local_of, shards[s], first_round);
+      }
+    } else {
+      std::vector<std::future<void>> futures;
+      futures.reserve(tasks);
+      for (std::size_t t = 0; t < tasks; ++t) {
+        futures.push_back(std::async(std::launch::async, [&, t] {
+          for (std::size_t k = t; k < active.size(); k += tasks) {
+            solve_shard(system, system.values, frozen, local_of, shards[active[k]], first_round);
+          }
+        }));
+      }
+      for (std::future<void>& f : futures) f.get();
+    }
+    for (const std::size_t s : active) {
+      if (shards[s].infeasible) {
+        throw Error("compaction constraints are infeasible (positive cycle)");
+      }
+    }
+
+    // Reconcile: a violated boundary constraint dirties its TARGET shard
+    // (the source shard is at a fixpoint; only the reader must re-solve).
+    std::fill(dirty.begin(), dirty.end(), 0);
+    active.clear();
+    for (const std::size_t e : plan.boundary) {
+      const Constraint& c = cs[e];
+      const auto from = static_cast<std::size_t>(c.from);
+      if (static_cast<std::int64_t>(system.values[from]) > max_bound) {
+        throw Error("compaction constraints are infeasible (positive cycle)");
+      }
+      if (system.values[static_cast<std::size_t>(c.to)] < system.values[from] + c.weight) {
+        ++sharded.boundary_churn;
+        dirty[static_cast<std::size_t>(plan.shard_of[static_cast<std::size_t>(c.to)])] = 1;
+      }
+      frozen[from] = system.values[from];
+    }
+    for (std::size_t s = 0; s < shard_count; ++s) {
+      if (dirty[s]) active.push_back(s);
+    }
+  }
+  sharded.reconcile.converged = active.empty();
+
+  SolveStats stats;
+  stats.passes = sharded.reconcile.iterations;
+  for (const Shard& shard : shards) {
+    stats.relaxations += shard.stats.relaxations;
+    stats.pops += shard.stats.pops;
+  }
+  stats.converged = true;
+
+  if (!sharded.reconcile.converged) {
+    // Cap hit: the shards are too tightly coupled for round-based
+    // reconciliation to pay off. Exactness over speed — one serial cold
+    // solve replaces the partial values (and delivers the infeasibility
+    // verdict if a cross-shard cycle was the real culprit).
+    sharded.fell_back_serial = true;
+    stats = solve_leftmost_worklist(system);
+  }
+  if (out_stats != nullptr) *out_stats = sharded;
+  return stats;
+}
+
+}  // namespace rsg::compact

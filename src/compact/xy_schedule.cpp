@@ -46,6 +46,23 @@ XyScheduleResult compact_flat_schedule(const std::vector<LayerBox>& boxes,
   result.width_before = before.width;
   result.height_before = before.height;
 
+  // Resume: restore the whole loop state from the checkpoint and continue
+  // at the next round. The `boxes` argument is ignored by design — the
+  // checkpointed geometry IS the loop state.
+  int start_round = 0;
+  if (schedule.resume != nullptr) {
+    const XyCheckpoint& ck = *schedule.resume;
+    result.boxes = ck.boxes;
+    result.width_before = ck.width_before;
+    result.height_before = ck.height_before;
+    result.x_infeasible = ck.x_infeasible;
+    result.y_infeasible = ck.y_infeasible;
+    result.converged = ck.converged;
+    result.round_stats = ck.round_stats;
+    result.rounds = ck.rounds_done;
+    start_round = ck.rounds_done;
+  }
+
   // The incremental engine keeps per-axis band/warm state alive across the
   // whole schedule; the scratch path rebuilds each pass (the equivalence
   // baseline). The naive generator has no band structure.
@@ -79,8 +96,17 @@ XyScheduleResult compact_flat_schedule(const std::vector<LayerBox>& boxes,
     }
   };
 
+  // A checkpoint taken after the schedule already terminated (converged
+  // with stop_when_converged, or frozen by a doubly-infeasible round) must
+  // resume to the identical result without running another round.
+  const bool resume_terminal =
+      schedule.resume != nullptr &&
+      ((result.converged && schedule.stop_when_converged) ||
+       (!result.round_stats.empty() && result.round_stats.back().x_skipped &&
+        result.round_stats.back().y_skipped));
+
   using Clock = std::chrono::steady_clock;
-  for (int round = 0; round < schedule.max_rounds; ++round) {
+  for (int round = start_round; !resume_terminal && round < schedule.max_rounds; ++round) {
     const std::vector<LayerBox> previous = result.boxes;
     RoundStats stats;
     stats.round = round + 1;
@@ -95,15 +121,23 @@ XyScheduleResult compact_flat_schedule(const std::vector<LayerBox>& boxes,
         run_pass(/*y_axis=*/true, result.y_infeasible, stats.y_skipped);
     stats.height_delta = pre_y.height - extents_of(result.boxes).height;
 
+    const auto note_sharded = [&stats](const ShardedSolveStats& sharded) {
+      stats.solve_shards = std::max(stats.solve_shards, sharded.shards);
+      stats.reconcile_rounds += sharded.reconcile.iterations;
+      stats.boundary_constraints += sharded.boundary_constraints;
+      stats.boundary_churn += sharded.boundary_churn;
+    };
     if (x_pass) {
       stats.constraints_emitted += x_pass->constraint_count;
       stats.solve_pops += x_pass->solve.pops;
       stats.warm_x = x_pass->solve.warm_accepted;
+      note_sharded(x_pass->sharded);
     }
     if (y_pass) {
       stats.constraints_emitted += y_pass->constraint_count;
       stats.solve_pops += y_pass->solve.pops;
       stats.warm_y = y_pass->solve.warm_accepted;
+      note_sharded(y_pass->sharded);
     }
     if (engine) {
       if (x_pass || stats.x_skipped) {
@@ -119,21 +153,37 @@ XyScheduleResult compact_flat_schedule(const std::vector<LayerBox>& boxes,
     result.round_stats.push_back(std::move(stats));
     result.rounds = round + 1;
 
-    if (result.round_stats.back().x_skipped && result.round_stats.back().y_skipped) {
+    const bool frozen =
+        result.round_stats.back().x_skipped && result.round_stats.back().y_skipped;
+    if (!frozen && result.boxes == previous) result.converged = true;
+
+    if (schedule.checkpoint_sink) {
+      XyCheckpoint ck;
+      ck.rounds_done = result.rounds;
+      ck.converged = result.converged;
+      ck.x_infeasible = result.x_infeasible;
+      ck.y_infeasible = result.y_infeasible;
+      ck.width_before = result.width_before;
+      ck.height_before = result.height_before;
+      ck.boxes = result.boxes;
+      ck.stretchable = stretchable;
+      ck.round_stats = result.round_stats;
+      schedule.checkpoint_sink(ck);
+    }
+
+    if (frozen) {
       // Both axes infeasible: no pass can ever run again (the geometry is
       // frozen), so looping to the cap would do nothing — terminate early
       // and do NOT claim convergence.
       break;
     }
-    if (result.boxes == previous) {
-      result.converged = true;
-      if (schedule.stop_when_converged) break;
-    }
+    if (result.converged && schedule.stop_when_converged) break;
   }
 
   const Extents after = extents_of(result.boxes);
   result.width_after = after.width;
   result.height_after = after.height;
+  result.convergence = {result.rounds, schedule.max_rounds, result.converged};
   return result;
 }
 

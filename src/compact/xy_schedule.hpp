@@ -18,6 +18,7 @@
 // every pitch unchanged.
 #pragma once
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -26,6 +27,27 @@
 #include "compact/leaf_compactor.hpp"
 
 namespace rsg::compact {
+
+struct RoundStats;
+
+// The complete schedule state after round `rounds_done` — everything a
+// later process needs to continue the loop as if it never stopped. The
+// geometry a resumed schedule produces is bit-for-bit the uninterrupted
+// run's (every pass is exact, so the boxes after round k determine the
+// boxes after round k+1); per-round COST telemetry may differ, since a
+// fresh incremental engine re-sweeps bands the uninterrupted run reused.
+// io/checkpoint.hpp serializes this as the RSGC file format.
+struct XyCheckpoint {
+  int rounds_done = 0;
+  bool converged = false;
+  bool x_infeasible = false;
+  bool y_infeasible = false;
+  Coord width_before = 0;
+  Coord height_before = 0;
+  std::vector<LayerBox> boxes;       // geometry after round rounds_done
+  std::vector<bool> stretchable;     // the mask the schedule ran with
+  std::vector<RoundStats> round_stats;
+};
 
 struct XyScheduleOptions {
   // Hard cap; each round is one x pass followed by one y pass.
@@ -50,6 +72,12 @@ struct XyScheduleOptions {
   // scratch path.
   bool incremental = true;
   IncrementalOptions incremental_options;
+  // Checkpoint/restart. The sink (if set) receives the full schedule state
+  // after EVERY completed round; `resume` (if set) restores that state and
+  // the loop continues from round rounds_done + 1, ignoring the `boxes`
+  // argument. io/checkpoint.hpp wires both to RSGC checkpoint files.
+  std::function<void(const XyCheckpoint&)> checkpoint_sink;
+  const XyCheckpoint* resume = nullptr;
 };
 
 // Per-round telemetry: what each axis pass did and what it cost. This is
@@ -67,6 +95,13 @@ struct RoundStats {
   std::size_t solve_pops = 0;           // worklist dequeues, both passes
   bool warm_x = false;                  // warm start verified exact for the axis
   bool warm_y = false;
+  // Sharded solving (FlatOptions::solve_shards != 1): shards planned (max
+  // over the two passes), reconciliation rounds, boundary constraints and
+  // boundary-violation churn (both summed over the two passes).
+  int solve_shards = 0;
+  int reconcile_rounds = 0;
+  std::size_t boundary_constraints = 0;
+  std::size_t boundary_churn = 0;
   double wall_ms = 0.0;
 };
 
@@ -80,6 +115,9 @@ struct XyScheduleResult {
   bool converged = false;   // a round left the geometry unchanged
   bool x_infeasible = false;  // best effort: some x pass was skipped
   bool y_infeasible = false;  // best effort: some y pass was skipped
+  // The schedule's round loop against its cap, in the same report shape
+  // as the sharded solver's reconciliation loop (shard_partition.hpp).
+  ConvergenceReport convergence;
   std::vector<RoundStats> round_stats;  // one entry per round run
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "io/checkpoint.hpp"
 #include "io/cif_writer.hpp"
 #include "layout/flatten.hpp"
 #include "support/error.hpp"
@@ -67,6 +68,20 @@ GeneratorResult execute_generation(CellTable& cells, InterfaceTable& interfaces,
                                         request.stretchable_layers.end(),
                                         lb.layer) != request.stretchable_layers.end());
       }
+    }
+    compact::XyCheckpoint resume;
+    if (!request.checkpoint_in.empty()) {
+      resume = read_compaction_checkpoint_file(request.checkpoint_in);
+      request.schedule.resume = &resume;
+      if (stretchable.empty()) stretchable = resume.stretchable;
+    }
+    if (!request.checkpoint_out.empty()) {
+      // Rewrite after every round: the file always holds the most recent
+      // completed round, so an interrupted run resumes from where it died.
+      const std::string path = request.checkpoint_out;
+      request.schedule.checkpoint_sink = [path](const compact::XyCheckpoint& ck) {
+        write_compaction_checkpoint_file(path, ck);
+      };
     }
     result.compaction =
         compact::compact_flat_schedule(flat, request.rules, request.flat, request.schedule,

@@ -51,6 +51,13 @@ struct CompactionRequest {
   // Boxes on these layers may shrink to minimum width (buses); all other
   // boxes stay rigid (devices).
   std::vector<Layer> stretchable_layers;
+  // RSGC checkpointing (io/checkpoint.hpp): `checkpoint_out` rewrites the
+  // file after every completed schedule round; `checkpoint_in` resumes the
+  // schedule from such a file instead of starting at round 1. The resumed
+  // geometry is bit-for-bit the uninterrupted run's. Exposed on rsg_cli as
+  // --checkpoint-out / --checkpoint-in.
+  std::string checkpoint_in;
+  std::string checkpoint_out;
 };
 
 struct PhaseTimes {

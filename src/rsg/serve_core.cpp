@@ -1,7 +1,10 @@
 #include "rsg/serve_core.hpp"
 
+#include <cctype>
 #include <chrono>
+#include <map>
 #include <optional>
+#include <string_view>
 #include <utility>
 
 #include "support/error.hpp"
@@ -10,9 +13,50 @@ namespace rsg {
 
 namespace {
 
+// Canonical form of a parameter text for cache keying: blank and comment
+// lines dropped, whitespace around the key/value separator normalized,
+// duplicate keys collapsed to the LAST value (the parser's later-wins rule
+// for both assignments and directives), lines sorted by key. Two texts the
+// parser reads identically therefore key identically — a sweep request
+// re-sent with different formatting hits the same cache entry.
+std::string canonical_params(const std::string& text) {
+  const auto trim = [](std::string_view s) {
+    while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) s.remove_prefix(1);
+    while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) s.remove_suffix(1);
+    return s;
+  };
+  std::map<std::string, std::string> entries;
+  const std::string_view view(text);
+  std::size_t pos = 0;
+  while (pos <= view.size()) {
+    std::size_t eol = view.find('\n', pos);
+    if (eol == std::string_view::npos) eol = view.size();
+    const std::string_view line = trim(view.substr(pos, eol - pos));
+    pos = eol + 1;
+    if (line.empty() || line.front() == ';' || line.front() == '#') continue;
+    // Directives split on ':', assignments on '='; a line with neither is
+    // kept verbatim (the parser will reject it the same way either text).
+    const char sep = line.front() == '.' ? ':' : '=';
+    const std::size_t split = line.find(sep);
+    if (split == std::string_view::npos) {
+      entries[std::string(line)] = std::string(line);
+      continue;
+    }
+    const std::string key(trim(line.substr(0, split)));
+    const std::string value(trim(line.substr(split + 1)));
+    entries[key] = key + sep + value;
+  }
+  std::string out;
+  for (const auto& [key, line] : entries) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
 // Cache key: every request field that can change the response, joined with
-// an unlikely separator. Parameter text is keyed verbatim — two texts that
-// differ only in comments MISS; correctness over hit rate.
+// an unlikely separator. Parameter text is keyed by its canonical form, so
+// formatting-only differences still hit.
 std::string cache_key(const GenerateRequest& request) {
   std::string key;
   key.reserve(request.design.size() + request.params.size() + request.top_cell.size() +
@@ -20,7 +64,7 @@ std::string cache_key(const GenerateRequest& request) {
   const char sep[] = {'\x1f', '\0'};
   key += request.design;
   key += sep;
-  key += request.params;
+  key += canonical_params(request.params);
   key += sep;
   key += request.top_cell;
   key += sep;

@@ -185,6 +185,40 @@ TEST(ServeCore, GenerateMatchesLegacyAndCaches) {
   EXPECT_EQ(stats.cache.hits, 1u);
 }
 
+TEST(ServeCore, CacheKeysCanonicalizedParams) {
+  // The same sweep point sent in two formattings — reordered lines, extra
+  // whitespace, comments, a shadowed duplicate assignment — must hit the
+  // same cache entry: the key is the canonical parameter text, not the
+  // bytes on the wire.
+  ServeCore core(test_options(1, 8));
+  add_mult(core);
+
+  GenerateRequest request;
+  request.design = "mult";
+  request.params = read_text_file(designs_path("mult.par")) + "asize = 3\nbeta = 1\n";
+  const GenerateResponse first = core.handle(request);
+  ASSERT_TRUE(first.ok) << first.error;
+  EXPECT_FALSE(first.cache_hit);
+
+  GenerateRequest reformatted;
+  reformatted.design = "mult";
+  reformatted.params = read_text_file(designs_path("mult.par")) +
+                       "; sweep point 3/1\n\nbeta=0\n  beta   =  1\nasize =3\n";
+  const GenerateResponse second = core.handle(reformatted);
+  ASSERT_TRUE(second.ok) << second.error;
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(second.cif, first.cif);
+  EXPECT_EQ(core.stats().cache.hits, 1u);
+
+  // A request that actually differs (beta = 2) must still miss.
+  GenerateRequest different;
+  different.design = "mult";
+  different.params = read_text_file(designs_path("mult.par")) + "asize = 3\nbeta = 2\n";
+  const GenerateResponse third = core.handle(different);
+  ASSERT_TRUE(third.ok) << third.error;
+  EXPECT_FALSE(third.cache_hit);
+}
+
 TEST(ServeCore, TruthTableRequestsNeedParser) {
   const std::string tt = "10 10\n01 01\n";
   GenerateRequest request;

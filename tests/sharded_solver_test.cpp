@@ -1,0 +1,244 @@
+// Tests for the sharded solve engine: partition invariants of plan_shards,
+// byte-identity of the sharded solver against the serial worklist on a
+// 100+-seed property corpus, the reconciliation loop's convergence
+// reporting, and the single infeasibility verdict across shard boundaries.
+// Labeled `concurrency` as well as `compact`: the 4-thread solves run
+// under the TSan CI job.
+#include "compact/sharded_solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "compact/constraint_builder.hpp"
+#include "compact/flat_compactor.hpp"
+#include "compact/shard_partition.hpp"
+#include "compact/synth_design.hpp"
+#include "compact/xy_schedule.hpp"
+#include "support/error.hpp"
+
+namespace rsg::compact {
+namespace {
+
+ConstraintSystem build_system(const SynthField& field) {
+  FlatOptions options;
+  Coord width_before = 0;
+  std::vector<CompactionBox> cboxes =
+      normalized_compaction_boxes(field.boxes, options, field.stretchable, width_before);
+  ConstraintSystemBuilder builder(CompactionRules::mosis());
+  builder.emit_batch(cboxes);
+  return builder.system();
+}
+
+FlatOptions sharded_options(int shards, int threads) {
+  FlatOptions options;
+  options.solve_shards = shards;
+  options.solve_threads = threads;
+  return options;
+}
+
+TEST(ShardPlan, PartitionsEveryConstraintExactlyOnce) {
+  for (std::uint32_t seed = 0; seed < 20; ++seed) {
+    const SynthField field = make_random_field(seed, 8 + static_cast<int>(seed % 20));
+    const ConstraintSystem system = build_system(field);
+    for (const int shards : {2, 4}) {
+      const ShardPlan plan = plan_shards(system, shards);
+      ASSERT_GE(plan.shard_count, 1) << "seed " << seed;
+      ASSERT_LE(plan.shard_count, shards) << "seed " << seed;
+      ASSERT_EQ(plan.shard_of.size(), system.variable_count());
+      for (const int s : plan.shard_of) {
+        ASSERT_GE(s, 0);
+        ASSERT_LT(s, plan.shard_count);
+      }
+      // Every constraint lands in exactly one bucket.
+      std::size_t internal_total = 0;
+      for (const auto& bucket : plan.internal) internal_total += bucket.size();
+      EXPECT_EQ(internal_total + plan.boundary.size(), system.constraint_count())
+          << "seed " << seed;
+      // Internal constraints stay inside their shard; boundary ones cross.
+      for (int s = 0; s < plan.shard_count; ++s) {
+        for (const std::size_t e : plan.internal[static_cast<std::size_t>(s)]) {
+          const Constraint& c = system.constraints()[e];
+          EXPECT_EQ(plan.shard_of[static_cast<std::size_t>(c.to)], s);
+          if (c.from >= 0) {
+            EXPECT_EQ(plan.shard_of[static_cast<std::size_t>(c.from)], s);
+          }
+        }
+      }
+      for (const std::size_t e : plan.boundary) {
+        const Constraint& c = system.constraints()[e];
+        ASSERT_GE(c.from, 0);
+        EXPECT_NE(plan.shard_of[static_cast<std::size_t>(c.from)],
+                  plan.shard_of[static_cast<std::size_t>(c.to)]);
+        EXPECT_TRUE(plan.boundary_var[static_cast<std::size_t>(c.from)]);
+        EXPECT_TRUE(plan.boundary_var[static_cast<std::size_t>(c.to)]);
+      }
+      EXPECT_EQ(plan.stats.boundary_constraints, plan.boundary.size());
+      EXPECT_GT(plan.stats.largest_shard, 0u);
+    }
+  }
+}
+
+TEST(ShardPlan, IsAPureFunctionOfTheSystem) {
+  const SynthField field = make_random_field(5, 30);
+  const ConstraintSystem system = build_system(field);
+  const ShardPlan a = plan_shards(system, 4);
+  const ShardPlan b = plan_shards(system, 4);
+  EXPECT_EQ(a.shard_count, b.shard_count);
+  EXPECT_EQ(a.shard_of, b.shard_of);
+  EXPECT_EQ(a.boundary, b.boundary);
+  EXPECT_EQ(a.internal, b.internal);
+}
+
+TEST(ShardedSolver, ValuesMatchSerialOn100SeededFields) {
+  // The property corpus: on every seeded field the sharded solver's values
+  // are identical to the serial worklist's (the least solution is unique,
+  // and both must find exactly it).
+  for (std::uint32_t seed = 0; seed < 110; ++seed) {
+    const SynthField field = make_random_field(seed, 4 + static_cast<int>(seed % 40));
+    ConstraintSystem serial = build_system(field);
+    ConstraintSystem sharded = serial;
+    solve_leftmost_worklist(serial);
+
+    const ShardPlan plan = plan_shards(sharded, 4);
+    ShardedSolveOptions options;
+    options.threads = 4;
+    ShardedSolveStats stats;
+    const SolveStats solve = solve_leftmost_sharded(sharded, plan, options, &stats);
+    EXPECT_TRUE(solve.converged);
+    EXPECT_TRUE(stats.reconcile.converged || stats.fell_back_serial) << "seed " << seed;
+    ASSERT_EQ(serial.values, sharded.values) << "seed " << seed;
+  }
+}
+
+TEST(ShardedSolver, CompactFlatIsByteIdenticalToSerial) {
+  for (std::uint32_t seed = 0; seed < 40; ++seed) {
+    const SynthField field = make_random_field(seed, 6 + static_cast<int>(seed % 30));
+    const FlatResult serial =
+        compact_flat(field.boxes, CompactionRules::mosis(), {}, field.stretchable);
+    const FlatResult sharded = compact_flat(field.boxes, CompactionRules::mosis(),
+                                            sharded_options(4, 4), field.stretchable);
+    ASSERT_EQ(serial.boxes, sharded.boxes) << "seed " << seed;
+    EXPECT_EQ(serial.width_after, sharded.width_after) << "seed " << seed;
+    EXPECT_GT(sharded.sharded.shards, 0) << "seed " << seed;
+  }
+}
+
+TEST(ShardedSolver, ScheduleIsByteIdenticalToSerial) {
+  // The full alternating schedule (incremental engine, warm starts, the
+  // works) with sharded cold solves lands on the identical geometry.
+  for (const std::uint32_t seed : {3u, 17u, 54u, 91u}) {
+    const SynthField field = make_random_field(seed, 25);
+    XyScheduleOptions schedule;
+    schedule.max_rounds = 6;
+    const XyScheduleResult serial = compact_flat_schedule(
+        field.boxes, CompactionRules::mosis(), {}, schedule, field.stretchable);
+    const XyScheduleResult sharded =
+        compact_flat_schedule(field.boxes, CompactionRules::mosis(), sharded_options(4, 4),
+                              schedule, field.stretchable);
+    ASSERT_EQ(serial.boxes, sharded.boxes) << "seed " << seed;
+    EXPECT_EQ(serial.rounds, sharded.rounds) << "seed " << seed;
+    EXPECT_EQ(serial.converged, sharded.converged) << "seed " << seed;
+  }
+}
+
+TEST(ShardedSolver, ReportsReconciliationInTheSharedConvergenceShape) {
+  const SynthField field = make_grid_field(10, 10);
+  ConstraintSystem system = build_system(field);
+  const ShardPlan plan = plan_shards(system, 4);
+  ASSERT_GT(plan.shard_count, 1);
+  ShardedSolveOptions options;
+  options.threads = 2;
+  ShardedSolveStats stats;
+  solve_leftmost_sharded(system, plan, options, &stats);
+  EXPECT_EQ(stats.shards, plan.shard_count);
+  EXPECT_EQ(stats.boundary_constraints, plan.boundary.size());
+  EXPECT_GE(stats.reconcile.iterations, 1);
+  EXPECT_GT(stats.reconcile.cap, 0);
+  EXPECT_TRUE(stats.reconcile.converged);
+  EXPECT_FALSE(stats.reconcile.capped());
+  EXPECT_GE(stats.shard_solves, static_cast<std::size_t>(plan.shard_count));
+}
+
+TEST(ShardedSolver, ReconcileCapFallsBackToTheExactSerialSolve) {
+  // A cap of one round cannot finish reconciliation on a coupled field;
+  // the fallback must still deliver exactly the serial values.
+  for (std::uint32_t seed = 0; seed < 10; ++seed) {
+    const SynthField field = make_random_field(seed, 30);
+    ConstraintSystem serial = build_system(field);
+    ConstraintSystem sharded = serial;
+    solve_leftmost_worklist(serial);
+    const ShardPlan plan = plan_shards(sharded, 4);
+    ShardedSolveOptions options;
+    options.threads = 2;
+    options.max_reconcile_rounds = 1;
+    ShardedSolveStats stats;
+    solve_leftmost_sharded(sharded, plan, options, &stats);
+    EXPECT_TRUE(stats.reconcile.converged || stats.fell_back_serial);
+    ASSERT_EQ(serial.values, sharded.values) << "seed " << seed;
+  }
+}
+
+TEST(ShardedSolver, CrossShardPositiveCycleThrowsTheSerialVerdict) {
+  // A positive cycle whose edges land in different shards: variables at
+  // opposite ends of the abscissa order, so any rank cut separates them.
+  ConstraintSystem system;
+  for (int v = 0; v < 64; ++v) {
+    system.add_variable("v" + std::to_string(v), v * 10);
+  }
+  for (int v = 0; v + 1 < 64; ++v) {
+    system.add_constraint(v, v + 1, 1, ConstraintKind::kSpacing);
+  }
+  system.add_constraint(0, 63, 1, ConstraintKind::kSpacing);
+  system.add_constraint(63, 0, 1, ConstraintKind::kSpacing);
+
+  ConstraintSystem serial = system;
+  EXPECT_THROW(solve_leftmost_worklist(serial), Error);
+
+  const ShardPlan plan = plan_shards(system, 4);
+  ASSERT_GT(plan.shard_count, 1);
+  ShardedSolveOptions options;
+  options.threads = 2;
+  try {
+    solve_leftmost_sharded(system, plan, options);
+    FAIL() << "sharded solve accepted a positive cycle";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("infeasible"), std::string::npos);
+  }
+}
+
+TEST(ShardedSolver, LocalPositiveCycleThrowsTheSerialVerdict) {
+  ConstraintSystem system;
+  for (int v = 0; v < 64; ++v) {
+    system.add_variable("v" + std::to_string(v), v * 10);
+  }
+  // The cycle sits between rank neighbors, inside one shard.
+  system.add_constraint(0, 1, 5, ConstraintKind::kSpacing);
+  system.add_constraint(1, 0, 5, ConstraintKind::kSpacing);
+  const ShardPlan plan = plan_shards(system, 4);
+  ShardedSolveOptions options;
+  options.threads = 2;
+  try {
+    solve_leftmost_sharded(system, plan, options);
+    FAIL() << "sharded solve accepted a positive cycle";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("infeasible"), std::string::npos);
+  }
+}
+
+TEST(ShardedSolver, SingleShardPlanDelegatesToSerial) {
+  const SynthField field = make_random_field(42, 20);
+  ConstraintSystem serial = build_system(field);
+  ConstraintSystem delegated = serial;
+  const SolveStats expected = solve_leftmost_worklist(serial);
+  const ShardPlan plan = plan_shards(delegated, 1);
+  EXPECT_EQ(plan.shard_count, 1);
+  ShardedSolveStats stats;
+  const SolveStats actual = solve_leftmost_sharded(delegated, plan, {}, &stats);
+  EXPECT_EQ(serial.values, delegated.values);
+  EXPECT_EQ(expected.pops, actual.pops);
+  EXPECT_EQ(stats.shards, 1);
+}
+
+}  // namespace
+}  // namespace rsg::compact
