@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Documentation checks run by the CI `docs` job (and usable locally).
 
-Two checks, both dependency-free:
+Three checks, all dependency-free:
 
  1. Markdown link integrity: every relative link target in every tracked
     *.md file must resolve to an existing file or directory (anchors are
@@ -9,6 +9,9 @@ Two checks, both dependency-free:
  2. Benchmark-artifact coverage: every BENCH_*.json artifact uploaded by
     .github/workflows/ci.yml must be named in docs/BENCHMARKS.md, so no
     artifact lands in CI without a documented schema.
+ 3. Status-code coverage: the README "Serving" error-code table must match
+    the StatusCode enum in src/support/status.hpp exactly — every code
+    documented with its wire value, no phantom rows, both directions.
 
 Exits non-zero with one line per violation.
 """
@@ -70,16 +73,59 @@ def check_bench_artifacts(errors):
             errors.append(f"docs/BENCHMARKS.md: CI artifact '{artifact}' is undocumented")
 
 
+def check_status_codes(errors):
+    """README's error-code table and the StatusCode enum must agree exactly."""
+    header_path = os.path.join(REPO, "src", "support", "status.hpp")
+    with open(header_path, encoding="utf-8") as f:
+        header = f.read()
+    # kCancelled = 1, ...  +  case StatusCode::kCancelled: return "CANCELLED";
+    values = dict(re.findall(r"(k\w+) = (\d+),", header))
+    names = dict(re.findall(r'case StatusCode::(k\w+):\s*return "([A-Z_]+)";', header))
+    if not values or not names:
+        errors.append("status.hpp: could not parse StatusCode enum or its name switch")
+        return
+    enum_codes = {}  # wire-visible UPPER_SNAKE name -> numeric value
+    for enumerator, value in values.items():
+        if enumerator not in names:
+            errors.append(f"status.hpp: {enumerator} has no status_code_name case")
+            continue
+        enum_codes[names[enumerator]] = int(value)
+
+    readme_path = os.path.join(REPO, "README.md")
+    with open(readme_path, encoding="utf-8") as f:
+        readme = f.read()
+    # Table rows of the form: | `NAME` | N | ...
+    rows = re.findall(r"^\|\s*`([A-Z_]+)`\s*\|\s*(\d+)\s*\|", readme, flags=re.M)
+    doc_codes = {name: int(value) for name, value in rows}
+    if not doc_codes:
+        errors.append("README.md: no error-code table rows found (expected | `NAME` | N | ...)")
+        return
+    for name, value in sorted(enum_codes.items(), key=lambda kv: kv[1]):
+        if name not in doc_codes:
+            errors.append(f"README.md: status code {name} ({value}) is undocumented")
+        elif doc_codes[name] != value:
+            errors.append(
+                f"README.md: {name} documented with value {doc_codes[name]}, enum says {value}"
+            )
+    for name in sorted(doc_codes):
+        if name not in enum_codes:
+            errors.append(f"README.md: documents status code {name}, which is not in status.hpp")
+
+
 def main():
     errors = []
     check_links(errors)
     check_bench_artifacts(errors)
+    check_status_codes(errors)
     for error in errors:
         print(f"error: {error}", file=sys.stderr)
     if errors:
         return 1
     count = len(tracked_markdown())
-    print(f"docs check passed: {count} markdown files, links and artifact schemas OK")
+    print(
+        f"docs check passed: {count} markdown files, "
+        "links, artifact schemas, and status codes OK"
+    )
     return 0
 
 

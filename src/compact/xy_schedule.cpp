@@ -4,11 +4,13 @@
 #include <chrono>
 #include <map>
 #include <optional>
+#include <thread>
 #include <tuple>
 #include <utility>
 
 #include "layout/flatten.hpp"
 #include "support/error.hpp"
+#include "support/fault_injection.hpp"
 
 namespace rsg::compact {
 
@@ -105,6 +107,11 @@ XyScheduleResult compact_flat_schedule(const std::vector<LayerBox>& boxes,
        (!result.round_stats.empty() && result.round_stats.back().x_skipped &&
         result.round_stats.back().y_skipped));
 
+  // A cancel/deadline signal raised before any round runs still rejects
+  // the work up front — "expired before it started" must not pay for a
+  // full round first.
+  if (schedule.cancel != nullptr) schedule.cancel->check("x/y schedule start");
+
   using Clock = std::chrono::steady_clock;
   for (int round = start_round; !resume_terminal && round < schedule.max_rounds; ++round) {
     const std::vector<LayerBox> previous = result.boxes;
@@ -178,6 +185,20 @@ XyScheduleResult compact_flat_schedule(const std::vector<LayerBox>& boxes,
       break;
     }
     if (result.converged && schedule.stop_when_converged) break;
+
+    // Test hook: hold the schedule for `param` ms (default 50) at the round
+    // boundary so deadline/cancel tests can deterministically interrupt a
+    // run BETWEEN rounds — after the checkpoint flush, before the poll.
+    int stall_ms = 0;
+    if (fault::fired("xy_schedule.round_stall", &stall_ms)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(stall_ms > 0 ? stall_ms : 50));
+    }
+    // Round boundary: the checkpoint sink above has already persisted this
+    // round, so abandoning here loses no work — a resumed run continues at
+    // round + 1 bit-for-bit.
+    if (schedule.cancel != nullptr) {
+      schedule.cancel->check(("x/y schedule round " + std::to_string(result.rounds)).c_str());
+    }
   }
 
   const Extents after = extents_of(result.boxes);

@@ -25,6 +25,7 @@
 #include "compact/flat_compactor.hpp"
 #include "compact/incremental.hpp"
 #include "compact/leaf_compactor.hpp"
+#include "support/cancel.hpp"
 
 namespace rsg::compact {
 
@@ -78,6 +79,12 @@ struct XyScheduleOptions {
   // argument. io/checkpoint.hpp wires both to RSGC checkpoint files.
   std::function<void(const XyCheckpoint&)> checkpoint_sink;
   const XyCheckpoint* resume = nullptr;
+  // Cooperative cancellation: polled at every round boundary AFTER the
+  // checkpoint sink has fired for the completed round, so an abandoned run
+  // always leaves a resumable checkpoint behind. Fires as StatusError
+  // (DEADLINE_EXCEEDED for an expired deadline, CANCELLED for an explicit
+  // cancel — e.g. the serving core draining on SIGTERM).
+  const CancelToken* cancel = nullptr;
 };
 
 // Per-round telemetry: what each axis pass did and what it cost. This is

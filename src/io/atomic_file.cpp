@@ -1,0 +1,90 @@
+#include "io/atomic_file.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "support/error.hpp"
+#include "support/fault_injection.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define RSG_ATOMIC_FILE_HAVE_FSYNC 1
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace rsg {
+
+namespace {
+
+#if defined(RSG_ATOMIC_FILE_HAVE_FSYNC)
+// Flush `path`'s bytes (or, for a directory, its entries) to stable storage.
+// Failure here means the atomicity promise cannot be kept, so it throws.
+void fsync_path(const std::string& path, bool directory) {
+  const int fd = ::open(path.c_str(), directory ? (O_RDONLY | O_DIRECTORY) : O_RDONLY);
+  if (fd < 0) {
+    if (directory) return;  // some filesystems refuse O_DIRECTORY opens; best effort
+    throw Error("atomic write: cannot reopen '" + path + "' to sync: " + std::strerror(errno));
+  }
+  const int rc = ::fsync(fd);
+  const int saved = errno;
+  ::close(fd);
+  if (rc != 0 && !directory) {
+    throw Error("atomic write: fsync('" + path + "'): " + std::strerror(saved));
+  }
+}
+#endif
+
+}  // namespace
+
+std::string atomic_write_temp_path(const std::string& path) {
+  // Same directory as the destination so rename() never crosses a
+  // filesystem boundary; suffixed so directory listings make it obvious.
+  return path + ".tmp";
+}
+
+void atomic_write_file(const std::string& path,
+                       const std::function<void(std::ostream&)>& writer) {
+  const std::string temp = atomic_write_temp_path(path);
+  {
+    std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+    if (!out) throw Error("atomic write: cannot open temp file '" + temp + "'");
+    try {
+      writer(out);
+      out.flush();
+    } catch (...) {
+      out.close();
+      std::remove(temp.c_str());
+      throw;
+    }
+    if (!out) {
+      out.close();
+      std::remove(temp.c_str());
+      throw Error("atomic write: write to temp file '" + temp + "' failed");
+    }
+  }
+#if defined(RSG_ATOMIC_FILE_HAVE_FSYNC)
+  try {
+    fsync_path(temp, /*directory=*/false);
+  } catch (...) {
+    std::remove(temp.c_str());
+    throw;
+  }
+#endif
+  const bool rename_failed =
+      fault::fired("atomic_file.rename_fail") || std::rename(temp.c_str(), path.c_str()) != 0;
+  if (rename_failed) {
+    const int saved = errno;
+    std::remove(temp.c_str());
+    throw Error("atomic write: rename('" + temp + "' -> '" + path +
+                "'): " + std::strerror(saved));
+  }
+#if defined(RSG_ATOMIC_FILE_HAVE_FSYNC)
+  // Make the rename itself durable: sync the containing directory.
+  const std::size_t slash = path.find_last_of('/');
+  fsync_path(slash == std::string::npos ? "." : path.substr(0, slash), /*directory=*/true);
+#endif
+}
+
+}  // namespace rsg

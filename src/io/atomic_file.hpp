@@ -1,0 +1,37 @@
+// Crash-safe file replacement: write-temp → fsync → rename.
+//
+// A writer that streams straight into its destination leaves a truncated
+// file behind when it dies mid-write — which the RSGB/RSGC readers then
+// (correctly) reject, but the previous good file is already gone. This
+// helper gives every binary-format writer the standard atomicity contract:
+//
+//   * the destination path NEVER holds a partial file — readers see either
+//     the old complete file or the new complete file;
+//   * the new bytes are fsync'd before the rename, so a crash straddling
+//     the rename cannot surface a renamed-but-empty file;
+//   * any failure (writer exception, failed stream, failed rename) removes
+//     the temp file and leaves the destination untouched.
+//
+// tests/fault_injection_test.cpp drives every failure leg via the
+// snapshot.write_payload / checkpoint.write_payload / atomic_file.rename_fail
+// fault points.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+namespace rsg {
+
+// Runs `writer` against a temp file next to `path` (same directory, so the
+// rename stays within one filesystem), fsyncs, and renames over `path`.
+// Throws rsg::Error (leaving `path` untouched and the temp removed) if the
+// writer throws, the stream fails, or any syscall in the commit fails.
+void atomic_write_file(const std::string& path,
+                       const std::function<void(std::ostream&)>& writer);
+
+// The temp path atomic_write_file uses for `path` (exposed so tests can
+// assert no temp droppings survive a failure).
+std::string atomic_write_temp_path(const std::string& path);
+
+}  // namespace rsg

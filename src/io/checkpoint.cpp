@@ -5,7 +5,9 @@
 #include <ostream>
 #include <vector>
 
+#include "io/atomic_file.hpp"
 #include "support/error.hpp"
+#include "support/fault_injection.hpp"
 
 namespace rsg {
 
@@ -147,6 +149,13 @@ CheckpointWriteStats write_compaction_checkpoint(std::ostream& out,
       out.put('\0');
       ++written;
     }
+    // Fault point: the payload write dies mid-stream — the header and some
+    // sections are on disk, the rest never arrive (the classic truncated
+    // checkpoint a crash leaves behind).
+    if (fault::fired("checkpoint.write_payload")) {
+      out.setstate(std::ios::failbit);
+      break;
+    }
     out.write(reinterpret_cast<const char*>(payload.bytes.data()),
               static_cast<std::streamsize>(payload.bytes.size()));
     written += payload.bytes.size();
@@ -162,11 +171,13 @@ CheckpointWriteStats write_compaction_checkpoint(std::ostream& out,
 
 CheckpointWriteStats write_compaction_checkpoint_file(const std::string& path,
                                                       const compact::XyCheckpoint& checkpoint) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) throw Error("cannot open checkpoint output file: " + path);
-  CheckpointWriteStats stats = write_compaction_checkpoint(out, checkpoint);
-  out.flush();
-  if (!out) throw Error("RSGC: write failed: " + path);
+  // write-temp → fsync → rename: the sink rewrites this file after EVERY
+  // schedule round, so a crash mid-rewrite must never destroy the previous
+  // round's (still perfectly resumable) checkpoint.
+  CheckpointWriteStats stats;
+  atomic_write_file(path, [&](std::ostream& out) {
+    stats = write_compaction_checkpoint(out, checkpoint);
+  });
   return stats;
 }
 

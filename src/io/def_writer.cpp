@@ -59,6 +59,8 @@ void write_def_file(const std::string& path, const Cell& root) {
   std::ofstream out(path);
   if (!out) throw Error("cannot open DEF output file: " + path);
   write_def(out, root);
+  out.flush();
+  if (!out) throw Error("DEF write failed: " + path);
 }
 
 std::string def_to_string(const Cell& root) {

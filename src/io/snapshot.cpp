@@ -8,7 +8,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "io/atomic_file.hpp"
 #include "support/error.hpp"
+#include "support/fault_injection.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
 #define RSG_SNAPSHOT_HAVE_MMAP 1
@@ -53,6 +55,13 @@ struct StreamSink final : ByteSink {
   explicit StreamSink(std::ostream& out) : out_(out) {}
   std::uint64_t bytes = 0;
   void write(const void* data, std::size_t size) override {
+    // Fault point: a payload write that dies mid-stream (ENOSPC, yanked
+    // disk). The stream fails like a real short write — bytes already
+    // written stay written — and write_snapshot's trailing check throws.
+    if (fault::fired("snapshot.write_payload")) {
+      out_.setstate(std::ios::failbit);
+      return;
+    }
     out_.write(static_cast<const char*>(data), static_cast<std::streamsize>(size));
     bytes += size;
   }
@@ -441,11 +450,11 @@ SnapshotWriteStats write_snapshot(std::ostream& out, const CellTable& cells,
 
 SnapshotWriteStats write_snapshot_file(const std::string& path, const CellTable& cells,
                                        const std::string& root) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw Error("cannot open snapshot output file: " + path);
-  SnapshotWriteStats stats = write_snapshot(out, cells, root);
-  out.flush();
-  if (!out) throw Error("RSGB: write failed: " + path);
+  // write-temp → fsync → rename: a crash (or injected fault) mid-write
+  // never leaves a truncated file at `path` — the previous snapshot, if
+  // any, stays readable until the new one is complete and durable.
+  SnapshotWriteStats stats;
+  atomic_write_file(path, [&](std::ostream& out) { stats = write_snapshot(out, cells, root); });
   return stats;
 }
 

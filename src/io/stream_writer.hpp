@@ -13,6 +13,8 @@
 #include <string>
 #include <string_view>
 
+#include "support/fault_injection.hpp"
+
 namespace rsg {
 
 class BoundedTextSink {
@@ -45,6 +47,14 @@ class BoundedTextSink {
 
   void flush() {
     if (buffer_.empty()) return;
+    // Fault point: the flush's underlying write fails (full disk, dead
+    // pipe). The stream fails exactly as a real short write would; callers
+    // that check their stream (write_*_file) turn it into an Error.
+    if (fault::fired("stream_writer.flush_fail")) {
+      out_.setstate(std::ios::failbit);
+      buffer_.clear();
+      return;
+    }
     out_.write(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
     bytes_written_ += buffer_.size();
     buffer_.clear();

@@ -104,6 +104,8 @@ void write_svg_file(const std::string& path, const Cell& root) {
   std::ofstream out(path);
   if (!out) throw Error("cannot open SVG output file: " + path);
   write_svg(out, root);
+  out.flush();
+  if (!out) throw Error("SVG write failed: " + path);
 }
 
 }  // namespace rsg

@@ -16,9 +16,14 @@ GeneratorResult execute_generation(CellTable& cells, InterfaceTable& interfaces,
                                    ConnectivityGraph& graph, const lang::Program& program,
                                    const ParameterFile& params, const std::string& top_cell,
                                    const lang::Interpreter::EncodingTable* encoding,
-                                   const CompactionRequest& base_request) {
+                                   const CompactionRequest& base_request,
+                                   const CancelToken* cancel) {
   using Clock = std::chrono::steady_clock;
   GeneratorResult result;
+
+  // Phase boundary: a request whose deadline already passed (or that was
+  // cancelled while queued) is rejected before ANY pipeline work runs.
+  if (cancel != nullptr) cancel->check("generation start");
 
   // Parse and execute the parameter + design files. The parameter file
   // populates the global environment first; the design file then runs
@@ -59,6 +64,13 @@ GeneratorResult execute_generation(CellTable& cells, InterfaceTable& interfaces,
     request.enabled = true;
   }
   if (request.enabled) {
+    // Phase boundary: generation is done; don't start compaction (and its
+    // rounds) for a request that already ran out of time. The schedule
+    // polls the same token between rounds, after each checkpoint flush.
+    if (cancel != nullptr) {
+      cancel->check("compaction start");
+      request.schedule.cancel = cancel;
+    }
     const std::vector<LayerBox> flat = flatten_boxes(*result.top);
     std::vector<bool> stretchable;
     if (!request.stretchable_layers.empty()) {
@@ -91,6 +103,10 @@ GeneratorResult execute_generation(CellTable& cells, InterfaceTable& interfaces,
     result.top = &compacted;
     result.compacted = true;
   }
+
+  // Phase boundary: the layout exists but rendering large CIF text is real
+  // work — skip it for an abandoned request.
+  if (cancel != nullptr) cancel->check("output rendering");
 
   // Write the output (CIF, in memory; callers persist as needed).
   result.output = cif_to_string(*result.top);

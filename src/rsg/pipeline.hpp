@@ -26,6 +26,7 @@
 #include "io/sample_layout.hpp"
 #include "lang/interp.hpp"
 #include "layout/cell_table.hpp"
+#include "support/cancel.hpp"
 
 namespace rsg {
 
@@ -96,11 +97,17 @@ namespace detail {
 // and render CIF. Phase 1 (sample loading) is the caller's job — the legacy
 // Generator does it per run, CompiledDesign once at compile time. The
 // caller also stamps result.sample_stats / times.read_sample / keepalive.
+//
+// `cancel` (optional) is polled at every phase boundary — before the design
+// program runs, before compaction, between compaction rounds (via
+// XyScheduleOptions::cancel), and before output rendering — and unwinds
+// with StatusError(DEADLINE_EXCEEDED | CANCELLED) when it fires.
 GeneratorResult execute_generation(CellTable& cells, InterfaceTable& interfaces,
                                    ConnectivityGraph& graph, const lang::Program& program,
                                    const ParameterFile& params, const std::string& top_cell,
                                    const lang::Interpreter::EncodingTable* encoding,
-                                   const CompactionRequest& base_request);
+                                   const CompactionRequest& base_request,
+                                   const CancelToken* cancel = nullptr);
 
 }  // namespace detail
 

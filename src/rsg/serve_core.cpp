@@ -2,12 +2,18 @@
 
 #include <cctype>
 #include <chrono>
+#include <cstdio>
 #include <map>
+#include <new>
 #include <optional>
 #include <string_view>
+#include <sys/stat.h>
+#include <thread>
 #include <utility>
 
+#include "io/snapshot.hpp"
 #include "support/error.hpp"
+#include "support/fault_injection.hpp"
 
 namespace rsg {
 
@@ -56,7 +62,8 @@ std::string canonical_params(const std::string& text) {
 
 // Cache key: every request field that can change the response, joined with
 // an unlikely separator. Parameter text is keyed by its canonical form, so
-// formatting-only differences still hit.
+// formatting-only differences still hit. deadline_ms and bypass_cache are
+// deliberately excluded — they change scheduling, not the answer.
 std::string cache_key(const GenerateRequest& request) {
   std::string key;
   key.reserve(request.design.size() + request.params.size() + request.top_cell.size() +
@@ -74,6 +81,31 @@ std::string cache_key(const GenerateRequest& request) {
   return key;
 }
 
+// Checkpoint filename for a request personality: CRC-32 of the cache key in
+// hex. Unlike std::hash, the snapshot CRC is pinned by the RSGB format spec,
+// so the name is stable across processes — which is the whole point: a
+// restarted server computes the same name and finds the interrupted run's
+// checkpoint.
+std::string checkpoint_name(const std::string& key) {
+  const std::uint32_t crc = snapshot_crc32(key.data(), key.size());
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%08x.rsgc", crc);
+  return buf;
+}
+
+bool file_exists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+GenerateResponse failure(StatusCode code, std::string message) {
+  GenerateResponse response;
+  response.ok = false;
+  response.code = code;
+  response.error = std::move(message);
+  return response;
+}
+
 }  // namespace
 
 ServeCore::ServeCore(ServeOptions options)
@@ -83,20 +115,14 @@ ServeCore::ServeCore(ServeOptions options)
     threads = std::thread::hardware_concurrency();
     if (threads == 0) threads = 1;
   }
+  options_threads_ = threads;
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
   }
 }
 
-ServeCore::~ServeCore() {
-  {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
-    stopping_ = true;
-  }
-  queue_cv_.notify_all();
-  for (std::thread& worker : workers_) worker.join();
-}
+ServeCore::~ServeCore() { stop(DrainMode::kDrain); }
 
 void ServeCore::add_design(const std::string& name,
                            std::shared_ptr<const CompiledDesign> design) {
@@ -118,13 +144,31 @@ std::vector<std::string> ServeCore::design_names() const {
 
 std::future<GenerateResponse> ServeCore::submit(GenerateRequest request) {
   Job job;
+  if (request.deadline_ms > 0) {
+    job.has_deadline = true;
+    job.deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(request.deadline_ms);
+  }
   job.request = std::move(request);
   std::future<GenerateResponse> future = job.promise.get_future();
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);
     if (stopping_) {
+      job.promise.set_value(failure(StatusCode::kUnavailable, "server is shutting down"));
+      std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+      ++counters_.cancelled;
+      return future;
+    }
+    // Admission control: a queue at capacity sheds instead of buffering
+    // without bound. The client sees RESOURCE_EXHAUSTED — retryable — and
+    // backs off (serve_socket.hpp). In-flight work doesn't count against
+    // the cap; it already left the queue.
+    if (options_.max_queue_depth > 0 && queue_.size() >= options_.max_queue_depth) {
       job.promise.set_value(
-          GenerateResponse{false, "server is shutting down", {}, {}, false, 0.0});
+          failure(StatusCode::kResourceExhausted,
+                  "queue full (" + std::to_string(queue_.size()) + " requests waiting)"));
+      std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+      ++counters_.shed;
       return future;
     }
     queue_.push(std::move(job));
@@ -134,24 +178,36 @@ std::future<GenerateResponse> ServeCore::submit(GenerateRequest request) {
 }
 
 GenerateResponse ServeCore::handle(const GenerateRequest& request) {
+  CancelToken token = cancel_source_.token();
+  if (request.deadline_ms > 0) {
+    token = cancel_source_.token_with_deadline(
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(request.deadline_ms));
+  }
+  return handle_with_token(request, token);
+}
+
+GenerateResponse ServeCore::handle_with_token(const GenerateRequest& request,
+                                              const CancelToken& token) {
   GenerateResponse response;
 
   auto design_it = designs_.find(request.design);
   if (design_it == designs_.end()) {
-    response.error = "unknown design '" + request.design + "'";
+    response = failure(StatusCode::kNotFound, "unknown design '" + request.design + "'");
   } else {
     const std::string key = cache_key(request);
     if (!request.bypass_cache) {
       if (std::optional<GenerateResponse> hit = cache_.get(key)) {
         hit->cache_hit = true;
         hit->generate_ms = 0.0;
-        std::lock_guard<std::mutex> lock(stats_mutex_);
-        ++requests_;
+        count_response(*hit);
         return *hit;
       }
     }
+    std::string checkpoint_path;
     try {
+      if (fault::fired("serve_core.alloc_fail")) throw std::bad_alloc();
       GenerationSession session(design_it->second);
+      session.set_cancel_token(token);
       std::optional<lang::Interpreter::EncodingTable> encoding;
       if (!request.truth_table.empty()) {
         if (!options_.encoding_parser) {
@@ -161,8 +217,18 @@ GenerateResponse ServeCore::handle(const GenerateRequest& request) {
         session.set_encoding_table(&*encoding);
       }
       if (request.compact) {
-        CompactionRequest compaction;
+        CompactionRequest compaction = options_.compaction;
         compaction.enabled = true;
+        if (!options_.checkpoint_dir.empty()) {
+          // Crash-safe compaction: checkpoint every round under a name any
+          // process can recompute from the request alone. If the file is
+          // already there, a previous attempt died mid-schedule — resume it
+          // (bit-for-bit identical to an uninterrupted run) instead of
+          // redoing the finished rounds.
+          checkpoint_path = options_.checkpoint_dir + "/" + checkpoint_name(key);
+          compaction.checkpoint_out = checkpoint_path;
+          if (file_exists(checkpoint_path)) compaction.checkpoint_in = checkpoint_path;
+        }
         session.set_compaction(compaction);
       }
       const auto t0 = std::chrono::steady_clock::now();
@@ -170,28 +236,76 @@ GenerateResponse ServeCore::handle(const GenerateRequest& request) {
       const std::chrono::duration<double, std::milli> elapsed =
           std::chrono::steady_clock::now() - t0;
       response.ok = true;
+      response.code = StatusCode::kOk;
       response.cif = std::move(result.output);
       response.top_cell = result.top->name();
       response.generate_ms = elapsed.count();
+      // The run finished: its checkpoint is spent. A failed run keeps the
+      // file on purpose — that is the resume state.
+      if (!checkpoint_path.empty()) std::remove(checkpoint_path.c_str());
       if (!request.bypass_cache) cache_.put(key, response);
+    } catch (const StatusError& e) {
+      response = failure(e.code(), e.what());
+    } catch (const std::bad_alloc&) {
+      response = failure(StatusCode::kResourceExhausted, "allocation failed");
+    } catch (const Error& e) {
+      // Lang/layout/compaction errors are the request's fault: bad parameter
+      // text, infeasible geometry, unknown cells. Bugs land in the catch-all.
+      response = failure(StatusCode::kInvalidArgument, e.what());
     } catch (const std::exception& e) {
-      response = GenerateResponse{};
-      response.error = e.what();
+      response = failure(StatusCode::kInternal, e.what());
     }
   }
 
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  ++requests_;
-  if (!response.ok) ++errors_;
+  count_response(response);
   return response;
+}
+
+void ServeCore::count_response(const GenerateResponse& response) {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  ++counters_.requests;
+  if (!response.ok) {
+    ++counters_.errors;
+    if (response.code == StatusCode::kDeadlineExceeded) ++counters_.deadline_expired;
+    if (response.code == StatusCode::kCancelled) ++counters_.cancelled;
+  }
+}
+
+void ServeCore::stop(DrainMode mode) {
+  std::queue<Job> abandoned;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    stopping_ = true;
+    if (mode == DrainMode::kAbort) {
+      aborting_ = true;
+      abandoned.swap(queue_);
+    }
+  }
+  if (mode == DrainMode::kAbort) {
+    // In-flight sessions observe this at their next phase/round boundary and
+    // unwind with CANCELLED — after the round's checkpoint sink has run, so
+    // interrupted compactions stay resumable.
+    cancel_source_.cancel();
+    while (!abandoned.empty()) {
+      abandoned.front().promise.set_value(
+          failure(StatusCode::kUnavailable, "server shutting down — request not started"));
+      abandoned.pop();
+      std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+      ++counters_.cancelled;
+    }
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
 }
 
 ServeCore::Stats ServeCore::stats() const {
   Stats stats;
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
-    stats.requests = requests_;
-    stats.errors = errors_;
+    stats = counters_;
   }
   stats.cache = cache_.stats();
   return stats;
@@ -207,7 +321,25 @@ void ServeCore::worker_loop() {
       job = std::move(queue_.front());
       queue_.pop();
     }
-    job.promise.set_value(handle(job.request));
+    // Test hook: hold this worker for `param` ms (default 50) so tests can
+    // deterministically fill the queue or expire a queued job's deadline.
+    int stall_ms = 0;
+    if (fault::fired("serve_core.worker_stall", &stall_ms)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(stall_ms > 0 ? stall_ms : 50));
+    }
+    // A job whose deadline lapsed while it sat in the queue is rejected
+    // here, before any pipeline work — the whole point of deadlines is not
+    // burning a worker on an answer nobody is waiting for.
+    if (job.has_deadline && std::chrono::steady_clock::now() >= job.deadline) {
+      GenerateResponse expired =
+          failure(StatusCode::kDeadlineExceeded, "deadline expired while queued");
+      count_response(expired);
+      job.promise.set_value(std::move(expired));
+      continue;
+    }
+    CancelToken token = job.has_deadline ? cancel_source_.token_with_deadline(job.deadline)
+                                         : cancel_source_.token();
+    job.promise.set_value(handle_with_token(job.request, token));
   }
 }
 

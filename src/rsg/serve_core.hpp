@@ -1,11 +1,29 @@
 // Transport-agnostic serving core: compile once, generate many, cache.
 //
-// ServeCore owns a registry of named CompiledDesigns, a worker thread pool,
-// and an LRU cache of finished responses keyed on the full request
-// personality (design, parameter text, top cell, truth table, compaction).
-// Each request runs in a fresh GenerationSession overlaid on the shared
-// compiled base, so requests for the same design execute concurrently
-// without synchronizing on anything but the cache.
+// ServeCore owns a registry of named CompiledDesigns, a worker thread pool
+// over a BOUNDED queue, and an LRU cache of finished responses keyed on the
+// full request personality (design, parameter text, top cell, truth table,
+// compaction). Each request runs in a fresh GenerationSession overlaid on
+// the shared compiled base, so requests for the same design execute
+// concurrently without synchronizing on anything but the cache.
+//
+// Robustness contract (tests/fault_injection_test.cpp exercises every leg):
+//   * Structured errors: every failure carries a StatusCode
+//     (support/status.hpp) besides the human-readable string — clients
+//     branch on the code, never on substrings.
+//   * Deadlines: a request may carry deadline_ms (measured from submit).
+//     An expired request is rejected with DEADLINE_EXCEEDED before any
+//     pipeline work; a request that expires mid-flight is abandoned at the
+//     next phase/round boundary.
+//   * Admission control: submit() sheds with RESOURCE_EXHAUSTED when the
+//     queue already holds max_queue_depth requests — the client backs off
+//     and retries (serve_socket.hpp's retry helper).
+//   * Shutdown: stop(kDrain) completes everything already accepted;
+//     stop(kAbort) fails queued-but-unstarted requests with UNAVAILABLE and
+//     cancels in-flight work at its next boundary (CANCELLED) — in-flight
+//     compactions flush their RSGC checkpoint first, so the work resumes
+//     bit-for-bit on restart. Either way stop() returns only when the
+//     workers have exited: no hangs, no torn state.
 //
 // Transport lives elsewhere (serve_socket.hpp wires this to an AF_UNIX
 // socket; tests and benchmarks call it directly). Responses carry plain
@@ -17,8 +35,10 @@
 // via ServeOptions::encoding_parser instead of being linked in.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <future>
 #include <map>
@@ -32,6 +52,8 @@
 #include "rsg/compiled_design.hpp"
 #include "rsg/lru_cache.hpp"
 #include "rsg/session.hpp"
+#include "support/cancel.hpp"
+#include "support/status.hpp"
 
 namespace rsg {
 
@@ -42,20 +64,48 @@ struct GenerateRequest {
   std::string truth_table;  // optional PLA truth-table text (needs encoding_parser)
   bool compact = false;     // request default x/y compaction of the top cell
   bool bypass_cache = false;
+  // Per-request deadline in milliseconds, measured from submit()/handle()
+  // entry. 0 = none. Expired-while-queued requests return DEADLINE_EXCEEDED
+  // without touching the pipeline; expired-while-running requests are
+  // abandoned at the next phase or compaction-round boundary.
+  std::uint32_t deadline_ms = 0;
 };
 
 struct GenerateResponse {
   bool ok = false;
-  std::string error;     // set when !ok
+  StatusCode code = StatusCode::kOk;  // machine-readable verdict (set on !ok)
+  std::string error;     // human-readable detail when !ok
   std::string cif;       // CIF text of the generated (possibly compacted) top
   std::string top_cell;  // resolved top cell name
   bool cache_hit = false;
   double generate_ms = 0.0;  // server-side generation time (0 on cache hits)
 };
 
+// How stop() treats work that was accepted but has not finished.
+enum class DrainMode {
+  kDrain,  // run everything already queued to completion, then exit
+  kAbort,  // fail queued requests (UNAVAILABLE), cancel in-flight work at
+           // its next boundary (CANCELLED, checkpoints flushed), then exit
+};
+
 struct ServeOptions {
-  std::size_t num_threads = 0;     // 0 = hardware_concurrency (min 1)
+  std::size_t num_threads = 0;      // 0 = hardware_concurrency (min 1)
   std::size_t cache_capacity = 64;  // responses; 0 disables caching
+  // Admission control: submit() sheds with RESOURCE_EXHAUSTED when this
+  // many requests are already queued (in-flight work does not count).
+  // 0 = unbounded (the pre-hardening behavior).
+  std::size_t max_queue_depth = 256;
+  // Base compaction request applied when GenerateRequest::compact is set
+  // (rules, schedule caps, stretchable layers). enabled is forced on per
+  // request; checkpoint paths are managed via checkpoint_dir below.
+  CompactionRequest compaction;
+  // When non-empty: each compacting request checkpoints its x/y schedule
+  // into this directory (one RSGC file per request personality, rewritten
+  // every round, removed on success). A request aborted mid-compaction —
+  // deadline, shutdown drain — leaves its last completed round on disk, and
+  // the SAME request re-submitted after a restart resumes from it
+  // bit-for-bit instead of starting over.
+  std::string checkpoint_dir;
   // Parses truth-table text into an interpreter encoding table (wire in
   // pla::to_encoding_table ∘ TruthTable::parse). Unset = truth-table
   // requests are rejected.
@@ -65,7 +115,7 @@ struct ServeOptions {
 class ServeCore {
  public:
   explicit ServeCore(ServeOptions options = {});
-  ~ServeCore();  // drains queued requests, then joins the workers
+  ~ServeCore();  // stop(DrainMode::kDrain)
 
   ServeCore(const ServeCore&) = delete;
   ServeCore& operator=(const ServeCore&) = delete;
@@ -78,31 +128,47 @@ class ServeCore {
                   const std::string& design_text, const CompileOptions& options = {});
   std::vector<std::string> design_names() const;
 
-  // Enqueues the request on the worker pool.
+  // Enqueues the request on the worker pool. Never blocks: a full queue or
+  // a stopping core resolves the future immediately with
+  // RESOURCE_EXHAUSTED / UNAVAILABLE.
   std::future<GenerateResponse> submit(GenerateRequest request);
 
   // Runs the request synchronously on the calling thread (the pool is not
   // involved; benchmarks use this to control the thread count themselves).
+  // The deadline clock starts now.
   GenerateResponse handle(const GenerateRequest& request);
 
+  // Stops accepting work and returns once every worker has exited —
+  // idempotent, and callable concurrently with submit(). See DrainMode for
+  // what happens to accepted-but-unfinished requests. The destructor drains.
+  void stop(DrainMode mode = DrainMode::kDrain);
+
   struct Stats {
-    std::size_t requests = 0;  // handled (including failures)
-    std::size_t errors = 0;
+    std::size_t requests = 0;          // handled (including failures)
+    std::size_t errors = 0;            // handled with !ok
+    std::size_t shed = 0;              // rejected at submit: queue full
+    std::size_t deadline_expired = 0;  // DEADLINE_EXCEEDED (queued or running)
+    std::size_t cancelled = 0;         // CANCELLED / UNAVAILABLE on shutdown
     LruCache<std::string, GenerateResponse>::Stats cache;
   };
   Stats stats() const;
 
-  std::size_t num_threads() const { return workers_.size(); }
+  std::size_t num_threads() const { return options_threads_; }
 
  private:
   struct Job {
     GenerateRequest request;
     std::promise<GenerateResponse> promise;
+    bool has_deadline = false;
+    std::chrono::steady_clock::time_point deadline{};  // from submit time
   };
 
+  GenerateResponse handle_with_token(const GenerateRequest& request, const CancelToken& token);
+  void count_response(const GenerateResponse& response);
   void worker_loop();
 
   ServeOptions options_;
+  std::size_t options_threads_ = 0;
   std::map<std::string, std::shared_ptr<const CompiledDesign>> designs_;
   LruCache<std::string, GenerateResponse> cache_;
 
@@ -110,11 +176,12 @@ class ServeCore {
   std::condition_variable queue_cv_;
   std::queue<Job> queue_;
   bool stopping_ = false;
+  bool aborting_ = false;
   std::vector<std::thread> workers_;
+  CancelSource cancel_source_;  // flipped by stop(kAbort)
 
   mutable std::mutex stats_mutex_;
-  std::size_t requests_ = 0;
-  std::size_t errors_ = 0;
+  Stats counters_;  // cache field unused here (cache_ keeps its own)
 };
 
 }  // namespace rsg

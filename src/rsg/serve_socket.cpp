@@ -1,14 +1,19 @@
 #include "rsg/serve_socket.hpp"
 
+#include <pthread.h>
+#include <signal.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <condition_variable>
 #include <cstring>
+#include <random>
 
 #include "support/error.hpp"
+#include "support/fault_injection.hpp"
 
 namespace rsg {
 
@@ -55,6 +60,8 @@ class Reader {
     return value;
   }
 
+  bool done() const { return pos_ == payload_.size(); }
+
  private:
   void need(std::size_t bytes) {
     if (payload_.size() - pos_ < bytes) throw Error("serve protocol: truncated frame");
@@ -64,10 +71,18 @@ class Reader {
   std::size_t pos_ = 0;
 };
 
-// Full-buffer read/write over a blocking socket.
+// Full-buffer read/write over a blocking socket. Both loops tolerate EINTR
+// and short transfers — the fault points below force those paths so tests
+// prove a frame is never torn by an interrupted or partial syscall.
 bool write_all(int fd, const char* data, std::size_t size) {
   while (size > 0) {
-    const ssize_t n = ::write(fd, data, size);
+    if (fault::fired("serve_socket.eintr_write")) {
+      errno = EINTR;  // synthesized interrupted syscall: retry, no progress
+      continue;
+    }
+    std::size_t chunk = size;
+    if (fault::fired("serve_socket.short_write")) chunk = 1;  // partial transfer
+    const ssize_t n = ::write(fd, data, chunk);
     if (n < 0) {
       if (errno == EINTR) continue;
       return false;
@@ -80,7 +95,13 @@ bool write_all(int fd, const char* data, std::size_t size) {
 
 bool read_all(int fd, char* data, std::size_t size) {
   while (size > 0) {
-    const ssize_t n = ::read(fd, data, size);
+    if (fault::fired("serve_socket.eintr_read")) {
+      errno = EINTR;
+      continue;
+    }
+    std::size_t chunk = size;
+    if (fault::fired("serve_socket.short_read")) chunk = 1;
+    const ssize_t n = ::read(fd, data, chunk);
     if (n < 0) {
       if (errno == EINTR) continue;
       return false;
@@ -111,13 +132,18 @@ bool read_frame(int fd, std::string& payload) {
   return length == 0 || read_all(fd, payload.data(), length);
 }
 
-int connect_to(const std::string& socket_path) {
+sockaddr_un make_address(const std::string& socket_path) {
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
   if (socket_path.size() >= sizeof addr.sun_path) {
     throw Error("socket path too long: " + socket_path);
   }
   std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  return addr;
+}
+
+int connect_to(const std::string& socket_path) {
+  const sockaddr_un addr = make_address(socket_path);
   const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (fd < 0) throw Error("socket(): " + std::string(std::strerror(errno)));
   if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
@@ -139,6 +165,7 @@ std::string encode_generate_request(const GenerateRequest& request) {
   append_string(payload, request.truth_table);
   payload.push_back(request.compact ? 1 : 0);
   payload.push_back(request.bypass_cache ? 1 : 0);
+  append_u32(payload, request.deadline_ms);
   return payload;
 }
 
@@ -154,6 +181,7 @@ GenerateRequest decode_generate_request(const std::string& payload) {
   request.truth_table = reader.string();
   request.compact = reader.u8() != 0;
   request.bypass_cache = reader.u8() != 0;
+  request.deadline_ms = reader.u32();
   return request;
 }
 
@@ -161,6 +189,7 @@ std::string encode_generate_response(const GenerateResponse& response) {
   std::string payload;
   payload.push_back(response.ok ? 1 : 0);
   payload.push_back(response.cache_hit ? 1 : 0);
+  payload.push_back(static_cast<char>(response.code));
   append_string(payload, response.error);
   append_string(payload, response.cif);
   append_string(payload, response.top_cell);
@@ -172,6 +201,11 @@ GenerateResponse decode_generate_response(const std::string& payload) {
   GenerateResponse response;
   response.ok = reader.u8() != 0;
   response.cache_hit = reader.u8() != 0;
+  const std::uint8_t code = reader.u8();
+  if (code > static_cast<std::uint8_t>(StatusCode::kInternal)) {
+    throw Error("serve protocol: unknown status code " + std::to_string(code));
+  }
+  response.code = static_cast<StatusCode>(code);
   response.error = reader.string();
   response.cif = reader.string();
   response.top_cell = reader.string();
@@ -180,16 +214,26 @@ GenerateResponse decode_generate_response(const std::string& payload) {
 
 SocketServer::SocketServer(ServeCore& core, std::string socket_path)
     : core_(core), socket_path_(std::move(socket_path)) {
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (socket_path_.size() >= sizeof addr.sun_path) {
-    throw Error("socket path too long: " + socket_path_);
+  const sockaddr_un addr = make_address(socket_path_);
+
+  // A socket file already at the path is either a LIVE server — starting a
+  // second one would steal its clients, refuse — or the leftover of a dead
+  // one, which is safe to reclaim. connect() tells them apart: only a
+  // process still listening accepts; a stale file refuses (ECONNREFUSED).
+  if (::access(socket_path_.c_str(), F_OK) == 0) {
+    const int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (probe < 0) throw Error("socket(): " + std::string(std::strerror(errno)));
+    const bool live =
+        ::connect(probe, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) == 0;
+    ::close(probe);
+    if (live) {
+      throw Error("socket '" + socket_path_ + "' already has a live server — refusing to start");
+    }
+    ::unlink(socket_path_.c_str());  // dead server's leftover
   }
-  std::memcpy(addr.sun_path, socket_path_.c_str(), socket_path_.size() + 1);
 
   listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (listen_fd_ < 0) throw Error("socket(): " + std::string(std::strerror(errno)));
-  ::unlink(socket_path_.c_str());  // stale socket from a crashed server
   if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
     const int saved = errno;
     ::close(listen_fd_);
@@ -216,11 +260,17 @@ void SocketServer::start() {
   accept_thread_ = std::thread([this] { accept_loop(); });
 }
 
-void SocketServer::stop() {
+void SocketServer::request_shutdown() {
   if (!stopping_.exchange(true)) {
-    // Shut the listening socket down to wake the blocking accept().
+    // Shut the listening socket down to wake the blocking accept(); the
+    // accept loop then exits and wait() returns. Connection threads finish
+    // their current frame and close.
     if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
   }
+}
+
+void SocketServer::stop() {
+  request_shutdown();
   if (accept_thread_.joinable()) accept_thread_.join();
   std::vector<std::thread> connections;
   {
@@ -258,8 +308,7 @@ void SocketServer::handle_connection(int fd) {
     const std::uint8_t opcode = static_cast<std::uint8_t>(payload[0]);
     if (opcode == kServeOpShutdown) {
       write_frame(fd, std::string());
-      stopping_.store(true);
-      ::shutdown(listen_fd_, SHUT_RDWR);  // wake accept() so wait() returns
+      request_shutdown();
       break;
     }
     if (opcode == kServeOpStats) {
@@ -267,6 +316,9 @@ void SocketServer::handle_connection(int fd) {
       std::string body;
       append_u32(body, static_cast<std::uint32_t>(stats.requests));
       append_u32(body, static_cast<std::uint32_t>(stats.errors));
+      append_u32(body, static_cast<std::uint32_t>(stats.shed));
+      append_u32(body, static_cast<std::uint32_t>(stats.deadline_expired));
+      append_u32(body, static_cast<std::uint32_t>(stats.cancelled));
       append_u32(body, static_cast<std::uint32_t>(stats.cache.hits));
       append_u32(body, static_cast<std::uint32_t>(stats.cache.misses));
       append_u32(body, static_cast<std::uint32_t>(stats.cache.evictions));
@@ -276,15 +328,56 @@ void SocketServer::handle_connection(int fd) {
     }
     GenerateResponse response;
     try {
-      // Block on the pool: the connection thread is just a courier.
+      // Block on the pool: the connection thread is just a courier. The
+      // deadline clock starts at submit — queueing time counts against it.
       response = core_.submit(decode_generate_request(payload)).get();
+    } catch (const StatusError& e) {
+      response.ok = false;
+      response.code = e.code();
+      response.error = e.what();
+    } catch (const Error& e) {
+      // A frame that decodes as garbage is the client's fault.
+      response.ok = false;
+      response.code = StatusCode::kInvalidArgument;
+      response.error = e.what();
     } catch (const std::exception& e) {
       response.ok = false;
+      response.code = StatusCode::kInternal;
       response.error = e.what();
     }
     if (!write_frame(fd, encode_generate_response(response))) break;
   }
   ::close(fd);
+}
+
+SignalDrain::SignalDrain(std::function<void()> on_term) : on_term_(std::move(on_term)) {
+  sigset_t set;
+  sigemptyset(&set);
+  sigaddset(&set, SIGTERM);
+  // Block SIGTERM process-wide (threads created after this inherit the
+  // mask) so only the sigwait thread ever consumes it.
+  pthread_sigmask(SIG_BLOCK, &set, nullptr);
+  waiter_ = std::thread([this] {
+    sigset_t wait_set;
+    sigemptyset(&wait_set);
+    sigaddset(&wait_set, SIGTERM);
+    int sig = 0;
+    while (sigwait(&wait_set, &sig) != 0) {
+    }
+    if (disarmed_.load()) return;  // destructor's wake-up, not a real TERM
+    fired_.store(true);
+    if (on_term_) on_term_();
+  });
+}
+
+SignalDrain::~SignalDrain() {
+  disarmed_.store(true);
+  if (!fired_.load()) {
+    // Wake the sigwait thread with the signal it is watching; disarmed_ is
+    // already set, so the callback does not run.
+    pthread_kill(waiter_.native_handle(), SIGTERM);
+  }
+  if (waiter_.joinable()) waiter_.join();
 }
 
 GenerateResponse send_generate_request(const std::string& socket_path,
@@ -296,6 +389,32 @@ GenerateResponse send_generate_request(const std::string& socket_path,
   ::close(fd);
   if (!ok) throw Error("serve client: connection to '" + socket_path + "' failed mid-request");
   return decode_generate_response(payload);
+}
+
+GenerateResponse send_generate_request_with_retry(const std::string& socket_path,
+                                                  const GenerateRequest& request,
+                                                  const RetryPolicy& policy) {
+  const int attempts = policy.max_attempts > 0 ? policy.max_attempts : 1;
+  thread_local std::minstd_rand rng{std::random_device{}()};
+  double backoff_ms = policy.initial_backoff_ms;
+  for (int attempt = 1;; ++attempt) {
+    try {
+      const GenerateResponse response = send_generate_request(socket_path, request);
+      if (response.ok || !status_code_retryable(response.code) || attempt == attempts) {
+        return response;
+      }
+    } catch (const Error&) {
+      if (attempt == attempts) throw;
+    }
+    // Full jitter: uniform in (0, backoff]. A herd of clients shed by one
+    // overload spike spreads back out instead of returning in lockstep.
+    std::uniform_real_distribution<double> jitter(0.0, backoff_ms);
+    const double sleep_ms = jitter(rng);
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(sleep_ms > 0.1 ? sleep_ms : 0.1));
+    backoff_ms = backoff_ms * 2.0;
+    if (backoff_ms > policy.max_backoff_ms) backoff_ms = policy.max_backoff_ms;
+  }
 }
 
 bool send_shutdown_request(const std::string& socket_path) {

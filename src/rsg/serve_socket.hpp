@@ -6,19 +6,30 @@
 //   opcode   := 1 generate | 2 shutdown | 3 stats
 // A generate body is the request's string fields each as (u32 length,
 // bytes) in order design/params/top_cell/truth_table, then two flag bytes
-// (compact, bypass_cache). A generate response body is u8 ok, u8 cache_hit,
-// then error/cif/top_cell as length-prefixed strings. Stats responds with
-// six u64 counters; shutdown responds with an empty frame, then the server
-// stops accepting.
+// (compact, bypass_cache), then u32 deadline_ms (0 = none). A generate
+// response body is u8 ok, u8 cache_hit, u8 status code
+// (support/status.hpp wire values), then error/cif/top_cell as
+// length-prefixed strings. Stats responds with nine u32 counters
+// (requests, errors, shed, deadline_expired, cancelled, cache
+// hits/misses/evictions/size); shutdown responds with an empty frame, then
+// the server DRAINS: accepted work finishes, new connections are refused.
 //
 // The encode/decode helpers are exposed (and transport-free) so the
 // framing round-trips under test without a socket. The server runs one
 // accept thread plus a thread per connection; each connection is handled
 // synchronously — concurrency comes from concurrent CLIENTS, which is the
 // shape a local design server actually sees.
+//
+// Robustness: read/write loops absorb EINTR and short transfers (fault
+// points serve_socket.{eintr,short}_{read,write} exercise this); binding
+// probes an existing socket file first — a LIVE server there is an error,
+// only a dead one's socket is reclaimed; clients get a jittered
+// exponential-backoff retry wrapper that retries transport failures and
+// retryable status codes (RESOURCE_EXHAUSTED, UNAVAILABLE) only.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "rsg/serve_core.hpp"
@@ -41,8 +52,10 @@ GenerateResponse decode_generate_response(const std::string& payload);  // throw
 
 class SocketServer {
  public:
-  // Binds and listens immediately (throws Error on failure — e.g. a stale
-  // socket file); serving starts with start().
+  // Binds and listens immediately (throws Error on failure). An existing
+  // socket file is probed with connect() first: a live server answering it
+  // is a hard error (two servers must not race for one path); a dead one's
+  // leftover file is unlinked and the path reclaimed.
   SocketServer(ServeCore& core, std::string socket_path);
   ~SocketServer();  // stop() + unlink
 
@@ -51,10 +64,16 @@ class SocketServer {
 
   void start();
   // Idempotent; returns once the accept loop and all connection threads
-  // have exited.
+  // have exited. In-flight core work is untouched — pair with
+  // ServeCore::stop(kDrain|kAbort) for full shutdown.
   void stop();
   // Blocks until a client sends a shutdown frame (or stop() is called).
   void wait();
+  // Stops accepting new connections and wakes wait(), as if a shutdown
+  // frame arrived. Safe from a signal-handling thread (not an async-signal
+  // handler). The SIGTERM drain path: SignalDrain calls this, then the
+  // daemon drains the core and exits.
+  void request_shutdown();
 
   const std::string& socket_path() const { return socket_path_; }
 
@@ -71,11 +90,53 @@ class SocketServer {
   std::atomic<bool> stopping_{false};
 };
 
+// Blocks SIGTERM for the whole process (construct BEFORE spawning threads
+// so they inherit the mask) and watches for it on a dedicated sigwait
+// thread. On delivery the callback runs ONCE on that thread — from normal
+// thread context, not an async-signal handler, so it may take locks, e.g.
+// call SocketServer::request_shutdown() to begin a drain. Destruction
+// disarms without invoking the callback.
+class SignalDrain {
+ public:
+  explicit SignalDrain(std::function<void()> on_term);
+  ~SignalDrain();
+
+  SignalDrain(const SignalDrain&) = delete;
+  SignalDrain& operator=(const SignalDrain&) = delete;
+
+  bool fired() const { return fired_.load(); }
+
+ private:
+  std::function<void()> on_term_;
+  std::atomic<bool> fired_{false};
+  std::atomic<bool> disarmed_{false};
+  std::thread waiter_;
+};
+
 // Client side: one request per call (connect, send, receive, close).
 // Throws Error on transport failures; server-side failures come back as
-// response.ok = false.
+// response.ok = false with response.code set.
 GenerateResponse send_generate_request(const std::string& socket_path,
                                        const GenerateRequest& request);
+
+// Exponential backoff with full jitter: attempt n sleeps a uniform random
+// duration in (0, min(max_backoff, initial_backoff · 2ⁿ)]. Jitter
+// decorrelates clients that were all shed by the same overload spike.
+struct RetryPolicy {
+  int max_attempts = 5;       // total tries, including the first
+  double initial_backoff_ms = 10.0;
+  double max_backoff_ms = 2000.0;
+};
+
+// send_generate_request plus retries for the failures retrying can fix:
+// transport errors (server restarting) and retryable status codes
+// (RESOURCE_EXHAUSTED shed, UNAVAILABLE drain). Anything else — bad
+// request, deadline, internal error — returns immediately. Throws the last
+// transport Error if every attempt fails to connect.
+GenerateResponse send_generate_request_with_retry(const std::string& socket_path,
+                                                  const GenerateRequest& request,
+                                                  const RetryPolicy& policy = {});
+
 // Asks the server to stop accepting and wake wait(). Returns false if the
 // server could not be reached (already gone counts as success=false but is
 // usually fine for callers).

@@ -15,7 +15,7 @@ GeneratorResult GenerationSession::generate(const std::string& param_text,
   GeneratorResult result =
       detail::execute_generation(state_->cells, state_->interfaces, state_->graph,
                                  state_->design->program(), params, top_cell, encoding_,
-                                 compaction_);
+                                 compaction_, &cancel_);
   // Sample loading happened once at compile time; surface its stats so
   // callers see the same fields a legacy run reports. read_sample stays
   // zero — the session didn't pay it.

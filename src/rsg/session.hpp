@@ -40,6 +40,11 @@ class GenerationSession {
   // directive `.compact:xy` enables the same with default options.
   void set_compaction(const CompactionRequest& request) { compaction_ = request; }
 
+  // Attaches a deadline/cancellation token polled at every pipeline phase
+  // boundary and compaction-round boundary (see pipeline.hpp). The token is
+  // copied; generate() unwinds with StatusError when it fires.
+  void set_cancel_token(const CancelToken& token) { cancel_ = token; }
+
   const CompiledDesign& design() const { return *state_->design; }
   // The session's overlay tables and graph. Mutations land here, reads fall
   // through to the compiled base.
@@ -69,6 +74,7 @@ class GenerationSession {
   std::shared_ptr<State> state_;
   const lang::Interpreter::EncodingTable* encoding_ = nullptr;
   CompactionRequest compaction_;
+  CancelToken cancel_;  // default: never fires
 };
 
 }  // namespace rsg

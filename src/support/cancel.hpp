@@ -1,0 +1,98 @@
+// Deadline propagation and cooperative cancellation.
+//
+// A CancelToken is a cheap, copyable view of two stop signals: an absolute
+// deadline and a shared cancel flag (flipped by a CancelSource, e.g. the
+// serving core draining on SIGTERM). Long-running work polls the token at
+// natural boundaries — the pipeline between phases, the x/y schedule
+// between rounds — and unwinds with a StatusError the moment either signal
+// fires: DEADLINE_EXCEEDED for an expired deadline, CANCELLED for an
+// explicit cancel. Polling keeps the fast path free: an unarmed token is
+// two trivially-predictable branches.
+//
+// This lives in support (not rsg) because the compact layer checks tokens
+// too, and compact sits below rsg in the layer DAG.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+
+#include "support/status.hpp"
+
+namespace rsg {
+
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  CancelToken() = default;  // never fires
+
+  static CancelToken with_deadline(Clock::time_point deadline) {
+    CancelToken token;
+    token.deadline_ = deadline;
+    token.has_deadline_ = true;
+    return token;
+  }
+  static CancelToken after(Clock::duration timeout) {
+    return with_deadline(Clock::now() + timeout);
+  }
+
+  bool has_deadline() const { return has_deadline_; }
+  Clock::time_point deadline() const { return deadline_; }
+
+  bool deadline_expired() const { return has_deadline_ && Clock::now() >= deadline_; }
+  bool cancelled() const { return flag_ != nullptr && flag_->load(std::memory_order_acquire); }
+  // Either signal — the "should I keep going" poll.
+  bool stop_requested() const { return cancelled() || deadline_expired(); }
+
+  // The unwind poll: throws StatusError(CANCELLED) / (DEADLINE_EXCEEDED)
+  // when the corresponding signal has fired, annotated with where the work
+  // was abandoned. Cancellation wins ties: an operator-initiated stop is
+  // the more specific verdict.
+  void check(const char* where) const {
+    if (cancelled()) {
+      throw StatusError(StatusCode::kCancelled,
+                        std::string("work cancelled at ") + where);
+    }
+    if (deadline_expired()) {
+      throw StatusError(StatusCode::kDeadlineExceeded,
+                        std::string("deadline expired at ") + where);
+    }
+  }
+
+ private:
+  friend class CancelSource;
+
+  std::shared_ptr<const std::atomic<bool>> flag_;  // null = no cancel signal
+  Clock::time_point deadline_{};
+  bool has_deadline_ = false;
+};
+
+// The writable end: hand out tokens, later flip them all with cancel().
+// Copying a source shares the flag; cancel() is one-way and idempotent.
+class CancelSource {
+ public:
+  CancelSource() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  void cancel() { flag_->store(true, std::memory_order_release); }
+  bool cancelled() const { return flag_->load(std::memory_order_acquire); }
+
+  // A token observing this source's flag, optionally bounded by a deadline.
+  CancelToken token() const {
+    CancelToken t;
+    t.flag_ = flag_;
+    return t;
+  }
+  CancelToken token_with_deadline(CancelToken::Clock::time_point deadline) const {
+    CancelToken t = token();
+    t.deadline_ = deadline;
+    t.has_deadline_ = true;
+    return t;
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+}  // namespace rsg

@@ -1,0 +1,141 @@
+// Structured error/status taxonomy for the serving stack.
+//
+// rsg::Error carries a human-readable string; the serving layer ALSO needs a
+// machine-readable verdict so clients can decide (not guess from substrings)
+// whether a failure is the request's fault, transient pressure worth a
+// retry, or a server bug. StatusCode is that verdict, modeled on the
+// canonical RPC code set; Status pairs a code with detail text; StatusOr<T>
+// is the value-or-status return shape; StatusError is the exception bridge
+// for call chains that still unwind with `throw`.
+//
+// The wire protocol (rsg/serve_socket.hpp) ships the numeric code in every
+// error frame, and the README's error-code table is validated against this
+// enum by scripts/check_docs.py — adding a code here without documenting it
+// fails the docs CI job.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "support/error.hpp"
+
+namespace rsg {
+
+// Numeric values are wire-visible (serve_socket frames carry them as a u8);
+// append new codes, never renumber.
+enum class StatusCode : unsigned char {
+  kOk = 0,
+  kCancelled = 1,          // caller (or server shutdown) abandoned the work
+  kInvalidArgument = 2,    // the request itself can never succeed as written
+  kNotFound = 3,           // named design/resource is not registered
+  kDeadlineExceeded = 4,   // the request's deadline passed before completion
+  kResourceExhausted = 5,  // transient pressure (full queue, allocation failure)
+  kUnavailable = 6,        // server is shutting down / not accepting work
+  kInternal = 7,           // invariant violation — a server bug, not a request bug
+};
+
+// The UPPER_SNAKE names are the documented/user-facing spelling (README
+// error-code table, client logs). The switch is exhaustive on purpose:
+// -Werror=switch turns a new enumerator without a name into a build break.
+constexpr const char* status_code_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kCancelled: return "CANCELLED";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+// True for codes a client may retry without changing the request: the
+// failure reflects the server's momentary state, not the request content.
+constexpr bool status_code_retryable(StatusCode code) {
+  return code == StatusCode::kResourceExhausted || code == StatusCode::kUnavailable;
+}
+
+class Status {
+ public:
+  Status() = default;  // OK
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return Status(); }
+
+  StatusCode code() const { return code_; }
+  bool is_ok() const { return code_ == StatusCode::kOk; }
+  const std::string& message() const { return message_; }
+
+  // "DEADLINE_EXCEEDED: compaction abandoned after round 3" — the rendering
+  // used for logs and for the error string of a wire frame.
+  std::string to_string() const {
+    if (is_ok()) return "OK";
+    if (message_.empty()) return status_code_name(code_);
+    return std::string(status_code_name(code_)) + ": " + message_;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+// Exception carrying a Status. Subclasses Error so every existing
+// `catch (const rsg::Error&)` handler keeps working; handlers that care
+// about the taxonomy catch StatusError first and read code().
+class StatusError : public Error {
+ public:
+  explicit StatusError(Status status)
+      : Error(status.to_string()), status_(std::move(status)) {}
+  StatusError(StatusCode code, std::string message)
+      : StatusError(Status(code, std::move(message))) {}
+
+  const Status& status() const { return status_; }
+  StatusCode code() const { return status_.code(); }
+
+ private:
+  Status status_;
+};
+
+// Minimal value-or-status. Deliberately tiny: the serving layer needs "did
+// it work, and if not, which code" — not the full absl surface.
+template <class T>
+class StatusOr {
+ public:
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.is_ok()) {
+      status_ = Status(StatusCode::kInternal, "StatusOr constructed from OK without a value");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  // Value access on a failed StatusOr throws the underlying status.
+  const T& value() const& {
+    if (!ok()) throw StatusError(status_);
+    return *value_;
+  }
+  T& value() & {
+    if (!ok()) throw StatusError(status_);
+    return *value_;
+  }
+  T&& value() && {
+    if (!ok()) throw StatusError(status_);
+    return std::move(*value_);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ holds
+};
+
+}  // namespace rsg

@@ -16,6 +16,12 @@
 #include "rsg/serve_core.hpp"
 #include "rsg/serve_socket.hpp"
 #include "support/error.hpp"
+#include "support/fault_injection.hpp"
+#include "support/status.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
 
 namespace rsg {
 namespace {
@@ -87,6 +93,7 @@ TEST(ServeProtocol, RequestRoundTrip) {
   request.truth_table = "10 01\n";
   request.compact = true;
   request.bypass_cache = true;
+  request.deadline_ms = 2500;
 
   const GenerateRequest decoded = decode_generate_request(encode_generate_request(request));
   EXPECT_EQ(decoded.design, request.design);
@@ -95,6 +102,7 @@ TEST(ServeProtocol, RequestRoundTrip) {
   EXPECT_EQ(decoded.truth_table, request.truth_table);
   EXPECT_EQ(decoded.compact, request.compact);
   EXPECT_EQ(decoded.bypass_cache, request.bypass_cache);
+  EXPECT_EQ(decoded.deadline_ms, request.deadline_ms);
 }
 
 TEST(ServeProtocol, ResponseRoundTrip) {
@@ -107,8 +115,20 @@ TEST(ServeProtocol, ResponseRoundTrip) {
   const GenerateResponse decoded = decode_generate_response(encode_generate_response(response));
   EXPECT_TRUE(decoded.ok);
   EXPECT_TRUE(decoded.cache_hit);
+  EXPECT_EQ(decoded.code, StatusCode::kOk);
   EXPECT_EQ(decoded.cif, response.cif);
   EXPECT_EQ(decoded.top_cell, response.top_cell);
+
+  // Error responses carry the machine-readable code across the wire.
+  GenerateResponse error;
+  error.ok = false;
+  error.code = StatusCode::kResourceExhausted;
+  error.error = "queue full";
+  const GenerateResponse decoded_error =
+      decode_generate_response(encode_generate_response(error));
+  EXPECT_FALSE(decoded_error.ok);
+  EXPECT_EQ(decoded_error.code, StatusCode::kResourceExhausted);
+  EXPECT_EQ(decoded_error.error, "queue full");
 }
 
 TEST(ServeProtocol, TruncatedFrameThrows) {
@@ -142,8 +162,20 @@ TEST(ServeCore, UnknownDesignFails) {
   ServeCore core(test_options(1, 8));
   const GenerateResponse response = core.handle({"nonesuch", "", "", "", false, false});
   EXPECT_FALSE(response.ok);
+  EXPECT_EQ(response.code, StatusCode::kNotFound);
   EXPECT_NE(response.error.find("nonesuch"), std::string::npos);
   EXPECT_EQ(core.stats().errors, 1u);
+}
+
+TEST(ServeCore, BadParameterTextIsInvalidArgument) {
+  ServeCore core(test_options(1, 0));
+  add_mult(core);
+  GenerateRequest request;
+  request.design = "mult";
+  request.params = "this is not = a = parameter file ===\n.compact:sideways\n";
+  const GenerateResponse response = core.handle(request);
+  EXPECT_FALSE(response.ok);
+  EXPECT_EQ(response.code, StatusCode::kInvalidArgument);
 }
 
 TEST(ServeCore, GenerateMatchesLegacyAndCaches) {
@@ -321,6 +353,78 @@ TEST(SocketServer, EndToEndGenerateAndShutdown) {
 
   EXPECT_TRUE(send_shutdown_request(socket_path));
   server.wait();
+  server.stop();
+  std::remove(socket_path.c_str());
+}
+
+TEST(SocketServer, FramesSurviveShortTransfersAndEintrStorms) {
+  // Injected partial reads/writes and synthetic EINTR storms on both sides
+  // of the connection: the length-prefixed framing must still deliver every
+  // frame intact — same response as an unmolested request.
+  ServeCore core(test_options(1, 8));
+  add_mult(core);
+  const std::string socket_path = testing::TempDir() + "rsg_serve_eintr.sock";
+  std::remove(socket_path.c_str());
+  SocketServer server(core, socket_path);
+  server.start();
+
+  GenerateRequest request;
+  request.design = "mult";
+  request.params = read_text_file(designs_path("mult.par")) + kSmallMultParams;
+  const GenerateResponse reference = send_generate_request(socket_path, request);
+  ASSERT_TRUE(reference.ok) << reference.error;
+
+  fault::arm("serve_socket.short_read", {/*skip=*/0, /*count=*/256});
+  fault::arm("serve_socket.short_write", {/*skip=*/0, /*count=*/256});
+  fault::arm("serve_socket.eintr_read", {/*skip=*/0, /*count=*/64});
+  fault::arm("serve_socket.eintr_write", {/*skip=*/0, /*count=*/64});
+  const GenerateResponse tortured = send_generate_request(socket_path, request);
+  fault::disarm_all();
+  // The faults really did hit the loops.
+  EXPECT_GE(fault::fire_count("serve_socket.short_read"), 1);
+  EXPECT_GE(fault::fire_count("serve_socket.short_write"), 1);
+  EXPECT_GE(fault::fire_count("serve_socket.eintr_read"), 1);
+  EXPECT_GE(fault::fire_count("serve_socket.eintr_write"), 1);
+  ASSERT_TRUE(tortured.ok) << tortured.error;
+  EXPECT_EQ(tortured.cif, reference.cif);
+  EXPECT_EQ(tortured.top_cell, reference.top_cell);
+
+  server.stop();
+  std::remove(socket_path.c_str());
+}
+
+TEST(SocketServer, ReclaimsStaleSocketButRefusesLiveOne) {
+  ServeCore core(test_options(1, 0));
+  const std::string socket_path = testing::TempDir() + "rsg_serve_stale.sock";
+  std::remove(socket_path.c_str());
+
+  // A "crashed server": a socket file whose owner is gone. bind() then
+  // close() without unlink leaves exactly that on disk.
+  {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::snprintf(addr.sun_path, sizeof addr.sun_path, "%s", socket_path.c_str());
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    ASSERT_EQ(::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr), 0);
+    ::close(fd);
+  }
+
+  // The stale file is reclaimed and the server comes up and answers.
+  SocketServer server(core, socket_path);
+  server.start();
+
+  // A second server on the SAME path must refuse: the first one is alive.
+  EXPECT_THROW(SocketServer(core, socket_path), Error);
+
+  // And the refusal did not break the running server's socket.
+  add_mult(core);
+  GenerateRequest request;
+  request.design = "mult";
+  request.params = read_text_file(designs_path("mult.par")) + kSmallMultParams;
+  const GenerateResponse response = send_generate_request(socket_path, request);
+  EXPECT_TRUE(response.ok) << response.error;
+
   server.stop();
   std::remove(socket_path.c_str());
 }
