@@ -10,6 +10,11 @@
 # cores) that 4 serving threads scale >= 2.5x over 1. The compact scaling
 # point additionally runs the sharded-solver thread sweep and (on hosts
 # with >= 4 cores) asserts the solve phase is >= 1.5x faster on 4 threads.
+# Core-gated bars stamp their verdict into the artifact as a top-level
+# "gate" field: "passed", or "skipped_cores<4" when the host was too small
+# to assert. The leaf point also runs the warm-vs-cold schedule pair and
+# asserts warm-started re-solves use <= half the post-first-round pivots
+# of cold at 32 cells.
 #
 # Usage: scripts/bench_smoke.sh [build-dir] [smoke.json] [scaling.json]
 #                               [leaf.json] [xy.json] [io.json] [serve.json]
@@ -61,9 +66,12 @@ run_bench bench_orientations "$OUT"
 # configuration is ~1/3 s per repetition). Run the binary with no filter
 # locally for the full 1k/10k/50k trajectory and the 1M sharded point.
 run_bench bench_compact_scaling "$SCALING_OUT" '/(1000|10000)$|BM_SolveShardSweep/10000/'
-# The dense-vs-sparse LP sweep at the CI-sized library counts; the full
-# 2..32-cell trajectory (with the >= 10x headline at 32) needs a local run.
-run_bench bench_leaf_scaling "$LEAF_OUT" '/(2|4|8)$'
+# The dense-vs-sparse LP sweep at the CI-sized library counts (the full
+# 2..256-cell trajectory with the >= 10x headline needs a local run), plus
+# the warm-vs-cold leaf-schedule pair at 8 and 32 cells — the 32-cell pair
+# feeds the warm-start gate below. The size alternation is anchored on
+# both sides so it cannot accidentally match /128 or /256.
+run_bench bench_leaf_scaling "$LEAF_OUT" 'BM_LeafSolve.*/(2|4|8)$|BM_LeafSchedule(Warm|Cold)/(8|32)$'
 # The scratch-vs-incremental x/y schedule at the 10k acceptance size.
 run_bench bench_xy_scaling "$XY_OUT" '/10000$'
 # The streaming I/O pipeline at the 100k size (the bounded-buffer contract
@@ -115,7 +123,11 @@ EOF
 # Sharded-solver tripwire: the solve phase on 4 threads must be >= 1.5x the
 # serial solve — but only asserted when the host actually has >= 4 cores
 # (the `cores` counter records hardware_concurrency, like the serve sweep);
-# on smaller runners the rows are still recorded for the trajectory.
+# on smaller runners the rows are still recorded for the trajectory. Either
+# way the verdict is stamped INTO the artifact as a top-level "gate" field
+# ("passed" / "skipped_cores<4"), so a trajectory reader can tell a point
+# that cleared the bar from one recorded on a runner too small to try —
+# an unstamped skip used to be indistinguishable from a pass.
 python3 - "$SCALING_OUT" <<'EOF'
 import json, sys
 
@@ -133,10 +145,41 @@ cores = int(one.get("cores", 0))
 speedup = one["real_time"] / four["real_time"] if four["real_time"] else float("inf")
 print(f"sharded solve sweep: 1t {one['real_time']:.2f} ms, 4t {four['real_time']:.2f} ms, "
       f"speedup {speedup:.2f}x on {cores} core(s)")
+data["gate"] = "passed" if cores >= 4 else "skipped_cores<4"
+with open(sys.argv[1], "w") as f:
+    json.dump(data, f, indent=1)
 if cores >= 4 and speedup < 1.5:
     sys.exit(f"error: 4-thread solve-phase speedup below the 1.5x acceptance bar ({speedup:.2f}x)")
 if cores < 4:
-    print(f"note: solve-speedup bar skipped (host has {cores} core(s), bar needs >= 4)")
+    print(f"note: solve-speedup bar skipped (host has {cores} core(s), bar needs >= 4); "
+          f"artifact stamped gate=skipped_cores<4")
+EOF
+
+# Warm-start tripwire: at the 32-cell leaf schedule, carrying the previous
+# round's basis must at least HALVE the post-first-round pivot count vs
+# re-solving cold — the acceptance bar for the warm-started dual re-solves.
+# The first round is excluded on both sides (it is always cold), and the
+# warm run must actually have adopted carried bases (warm_accepted > 0) so
+# a silently-declining warm path cannot pass by accident.
+python3 - "$LEAF_OUT" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    data = json.load(f)
+rows = {b["name"]: b for b in data.get("benchmarks", []) if "post_round_pivots" in b}
+warm = rows.get("BM_LeafScheduleWarm/32")
+cold = rows.get("BM_LeafScheduleCold/32")
+if warm is None or cold is None:
+    sys.exit("error: BENCH_leaf_scaling.json is missing the 32-cell warm/cold schedule pair")
+wp, cp = warm["post_round_pivots"], cold["post_round_pivots"]
+accepted = warm.get("warm_accepted", 0)
+print(f"leaf schedule 32 cells: post-first-round pivots warm {wp:.0f} vs cold {cp:.0f} "
+      f"({cp / wp if wp else float('inf'):.2f}x), warm bases adopted {accepted:.0f}")
+if accepted <= 0:
+    sys.exit("error: the warm schedule adopted no carried bases (warm_accepted == 0)")
+if wp * 2 > cp:
+    sys.exit(f"error: warm-start pivot reduction below the 2x acceptance bar "
+             f"(warm {wp:.0f} vs cold {cp:.0f})")
 EOF
 
 # Serving tripwires. (1) Compile-once must amortize the sample/AST work:
@@ -171,10 +214,16 @@ cores = int(one.get("cores", 0))
 scaling = one["real_time"] / four["real_time"] if four["real_time"] else float("inf")
 print(f"serve thread sweep: 1t {one['real_time']:.2f} ms, 4t {four['real_time']:.2f} ms, "
       f"scaling {scaling:.2f}x on {cores} core(s)")
+# Stamp the thread-scaling verdict into the artifact (same contract as the
+# compact-scaling gate): a skipped bar must be legible as skipped.
+data["gate"] = "passed" if cores >= 4 else "skipped_cores<4"
+with open(sys.argv[1], "w") as f:
+    json.dump(data, f, indent=1)
 if cores >= 4 and scaling < 2.5:
     sys.exit(f"error: 1->4 thread scaling below the 2.5x acceptance bar ({scaling:.2f}x)")
 if cores < 4:
-    print(f"note: thread-scaling bar skipped (host has {cores} core(s), bar needs >= 4)")
+    print(f"note: thread-scaling bar skipped (host has {cores} core(s), bar needs >= 4); "
+          f"artifact stamped gate=skipped_cores<4")
 EOF
 
 # Every artifact CI uploads must exist and be non-empty — a silently

@@ -171,7 +171,7 @@ LeafResult solve_leaf_model(const LeafLpModel& model, LpMethod lp_method,
   return solve_leaf_model(model, LpOptions{lp_method, lp_pricing});
 }
 
-LeafResult solve_leaf_model(const LeafLpModel& model, const LpOptions& lp) {
+LeafResult solve_leaf_model(const LeafLpModel& model, const LpOptions& lp, LpWarmStart* warm) {
   LeafResult result;
   result.original_pitches = model.original_pitches;
   result.pitch_y = model.pitch_y;
@@ -179,7 +179,7 @@ LeafResult solve_leaf_model(const LeafLpModel& model, const LpOptions& lp) {
   result.unfolded_variable_count = model.unfolded_variable_count;
   result.constraint_count = model.system.constraint_count();
 
-  const LpSolution solution = solve_lp(model.lp, lp);
+  const LpSolution solution = solve_lp(model.lp, lp, warm);
   result.lp_stats = solution.stats;
   if (!solution.feasible) throw Error("leaf compaction: constraint system infeasible");
   if (!solution.bounded) throw Error("leaf compaction: objective unbounded (missing anchors)");
@@ -224,10 +224,10 @@ LeafResult compact_leaf_cells(const CellTable& cells, const InterfaceTable& inte
                               const std::vector<PitchSpec>& pitch_specs,
                               const CompactionRules& rules, double width_weight,
                               const std::vector<Layer>& stretchable_layers,
-                              const LpOptions& lp) {
+                              const LpOptions& lp, LpWarmStart* warm) {
   return solve_leaf_model(build_leaf_lp(cells, interfaces, cell_names, pitch_specs, rules,
                                         width_weight, stretchable_layers),
-                          lp);
+                          lp, warm);
 }
 
 LeafResult compact_leaf_cells(const CellTable& cells, const InterfaceTable& interfaces,
@@ -245,7 +245,7 @@ LeafResult compact_leaf_cells_y(const CellTable& cells, const InterfaceTable& in
                                 const std::vector<PitchSpec>& pitch_specs,
                                 const CompactionRules& rules, double width_weight,
                                 const std::vector<Layer>& stretchable_layers,
-                                const LpOptions& lp) {
+                                const LpOptions& lp, LpWarmStart* warm) {
   // Transpose the library: every cell's flattened geometry axis-swapped,
   // every spec'd interface's pitch vector component-swapped. The mirrored
   // preconditions are checked HERE so the errors name the y axis instead
@@ -274,7 +274,7 @@ LeafResult compact_leaf_cells_y(const CellTable& cells, const InterfaceTable& in
   }
 
   LeafResult result = compact_leaf_cells(tcells, tinterfaces, cell_names, pitch_specs, rules,
-                                         width_weight, stretchable_layers, lp);
+                                         width_weight, stretchable_layers, lp, warm);
   // Transpose back: x in the solved frame is y in the caller's. The pitch
   // bookkeeping already reads correctly — `pitches` carries the optimized
   // (transposed-x = real-y) values, `pitch_y` the untouched x components.

@@ -112,7 +112,17 @@ LeafLpModel build_leaf_lp(const CellTable& cells, const InterfaceTable& interfac
 // the per-cell geometry. Throws rsg::Error on infeasible systems. The
 // default engine is LpOptions{} = kSparseDual; the second overload keeps
 // the PR 3-era (method, pricing) call shape for the equivalence suites.
-LeafResult solve_leaf_model(const LeafLpModel& model, const LpOptions& lp = {});
+//
+// `warm` (optional, kSparseDual only) carries the optimal basis from one
+// solve of a structurally-identical model into the next — the leaf
+// schedule's per-round re-solves are one bound change apart, so round k's
+// basis is usually dual-feasible for round k+1 and the re-solve skips most
+// of its pivots. Pass an empty LpWarmStart on the first call and the SAME
+// handle on every subsequent one; the engine falls back to a cold start
+// (and reports it in LpStats::warm_attempted/warm_accepted) whenever the
+// carried basis is stale, singular, or dual-infeasible.
+LeafResult solve_leaf_model(const LeafLpModel& model, const LpOptions& lp = {},
+                            LpWarmStart* warm = nullptr);
 LeafResult solve_leaf_model(const LeafLpModel& model, LpMethod lp_method,
                             LpPricing lp_pricing = LpPricing::kDantzig);
 
@@ -122,7 +132,7 @@ LeafResult compact_leaf_cells(const CellTable& cells, const InterfaceTable& inte
                               const std::vector<PitchSpec>& pitch_specs,
                               const CompactionRules& rules, double width_weight = 1e-3,
                               const std::vector<Layer>& stretchable_layers = {},
-                              const LpOptions& lp = {});
+                              const LpOptions& lp = {}, LpWarmStart* warm = nullptr);
 LeafResult compact_leaf_cells(const CellTable& cells, const InterfaceTable& interfaces,
                               const std::vector<std::string>& cell_names,
                               const std::vector<PitchSpec>& pitch_specs,
@@ -141,7 +151,7 @@ LeafResult compact_leaf_cells_y(const CellTable& cells, const InterfaceTable& in
                                 const std::vector<PitchSpec>& pitch_specs,
                                 const CompactionRules& rules, double width_weight = 1e-3,
                                 const std::vector<Layer>& stretchable_layers = {},
-                                const LpOptions& lp = {});
+                                const LpOptions& lp = {}, LpWarmStart* warm = nullptr);
 
 // Rebuilds a fresh cell table + interface table from a compaction result —
 // "after the compaction is completed, it is possible to build a new sample

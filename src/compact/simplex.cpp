@@ -214,18 +214,75 @@ class Tableau {
 
 }  // namespace
 
+namespace detail {
+
+bool has_finite_upper(const LpProblem& problem) {
+  for (const double u : problem.upper) {
+    if (u != kLpUnbounded) return true;
+  }
+  return false;
+}
+
+LpProblem upper_bounds_as_rows(const LpProblem& problem) {
+  if (static_cast<int>(problem.upper.size()) != problem.num_vars) {
+    throw Error("simplex: upper bound vector size does not match variable count");
+  }
+  LpProblem boxed;
+  boxed.num_vars = problem.num_vars;
+  boxed.objective = problem.objective;
+  boxed.constraints = problem.constraints;
+  for (int j = 0; j < problem.num_vars; ++j) {
+    const double u = problem.upper[static_cast<std::size_t>(j)];
+    if (u == kLpUnbounded) continue;
+    LpConstraint row;
+    row.terms.emplace_back(j, 1.0);
+    row.rhs = u;
+    boxed.constraints.push_back(std::move(row));
+  }
+  return boxed;
+}
+
+}  // namespace detail
+
 LpSolution solve_lp(const LpProblem& problem, const LpOptions& options) {
   return solve_lp(problem, options.method, options.pricing);
+}
+
+LpSolution solve_lp(const LpProblem& problem, const LpOptions& options, LpWarmStart* warm) {
+  if (options.method != LpMethod::kSparseDual) {
+    // Only the dual engine can adopt a basis; a primal solve also cannot
+    // refresh the handle, so it must not survive to mislead a later round.
+    if (warm != nullptr) warm->clear();
+    return solve_lp(problem, options.method, options.pricing);
+  }
+  if (static_cast<int>(problem.objective.size()) != problem.num_vars) {
+    throw Error("simplex: objective size does not match variable count");
+  }
+  if (!problem.upper.empty() &&
+      static_cast<int>(problem.upper.size()) != problem.num_vars) {
+    throw Error("simplex: upper bound vector size does not match variable count");
+  }
+  LpSolution solution;
+  detail::solve_lp_sparse_dual_into(problem, options.pricing, solution, warm);
+  return solution;
 }
 
 LpSolution solve_lp(const LpProblem& problem, LpMethod method, LpPricing pricing) {
   if (static_cast<int>(problem.objective.size()) != problem.num_vars) {
     throw Error("simplex: objective size does not match variable count");
   }
+  if (!problem.upper.empty() &&
+      static_cast<int>(problem.upper.size()) != problem.num_vars) {
+    throw Error("simplex: upper bound vector size does not match variable count");
+  }
   if (method == LpMethod::kSparseRevised) return detail::solve_lp_sparse(problem, pricing);
   if (method == LpMethod::kSparseDual) return detail::solve_lp_sparse_dual(problem, pricing);
   // The dense tableau is the equivalence baseline: it always prices
-  // Dantzig, whatever `pricing` asks for.
+  // Dantzig, whatever `pricing` asks for. It has no bounded-variable
+  // machinery, so bounded instances solve the row-augmented equivalent.
+  if (detail::has_finite_upper(problem)) {
+    return solve_lp(detail::upper_bounds_as_rows(problem), method, pricing);
+  }
 
   LpSolution solution;
   Tableau tableau(problem);

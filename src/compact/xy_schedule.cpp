@@ -280,6 +280,15 @@ LeafXyResult compact_leaf_schedule(const CellTable& cells, const InterfaceTable&
   };
 
   LeafXyResult result;
+  // One warm-start handle per axis, alive across rounds: round k's optimal
+  // basis seeds round k+1's solve of the same axis. The engine validates
+  // the carried basis itself (shape, nonsingularity, dual feasibility) and
+  // cold-starts when it is stale — e.g. when an axis's spec list changed
+  // and the LP shape with it — so the handles need no management here.
+  LpWarmStart warm_x;
+  LpWarmStart warm_y;
+  LpWarmStart* const warm_x_ptr = options.warm_start ? &warm_x : nullptr;
+  LpWarmStart* const warm_y_ptr = options.warm_start ? &warm_y : nullptr;
   for (int round = 0; round < options.max_rounds; ++round) {
     const LeafLibraryState before = state;
     LeafRoundStats stats;
@@ -294,7 +303,7 @@ LeafXyResult compact_leaf_schedule(const CellTable& cells, const InterfaceTable&
       const InterfaceTable pass_interfaces = state.interfaces();
       const LeafResult x = compact_leaf_cells(pass_cells, pass_interfaces, cell_names, x_specs,
                                               rules, options.width_weight,
-                                              options.stretchable_layers, options.lp);
+                                              options.stretchable_layers, options.lp, warm_x_ptr);
       for (const auto& [name, boxes] : x.cells) state.geometry[name] = boxes;
       for (std::size_t s = 0; s < x_specs.size(); ++s) {
         const PitchSpec& spec = x_specs[s];
@@ -311,7 +320,8 @@ LeafXyResult compact_leaf_schedule(const CellTable& cells, const InterfaceTable&
       const InterfaceTable pass_interfaces = state.interfaces();
       const LeafResult y = compact_leaf_cells_y(pass_cells, pass_interfaces, cell_names, y_specs,
                                                 rules, options.width_weight,
-                                                options.stretchable_layers, options.lp);
+                                                options.stretchable_layers, options.lp,
+                                                warm_y_ptr);
       for (const auto& [name, boxes] : y.cells) state.geometry[name] = boxes;
       for (std::size_t s = 0; s < y_specs.size(); ++s) {
         const PitchSpec& spec = y_specs[s];

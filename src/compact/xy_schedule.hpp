@@ -147,6 +147,15 @@ struct LeafXyOptions {
   std::vector<Layer> stretchable_layers;
   // The LP engine of every pass; defaults to kSparseDual.
   LpOptions lp;
+  // Carry each axis's optimal basis into the next round's solve (kSparseDual
+  // only; the other engines ignore it). Consecutive rounds of one axis are
+  // structurally identical LPs a few bound changes apart, so the carried
+  // basis usually prices dual-feasible and the re-solve spends a fraction of
+  // a cold start's pivots (LeafRoundStats::{x,y}_lp.warm_accepted says when
+  // it held; the engine cold-starts on its own whenever it does not). The
+  // solved objective is identical either way — only the pivot path (and,
+  // on LPs with tied optima, which optimal vertex reports) changes.
+  bool warm_start = true;
 };
 
 // Per-round LP telemetry — the leaf analogue of RoundStats, reported by

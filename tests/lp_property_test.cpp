@@ -88,9 +88,9 @@ TEST(LpPropertyTest, RandomDenseInstancesAgreeAcrossEngines) {
 }
 
 // Family 2: mixed-sign costs over box-ish constraints — the shapes where
-// the dual's artificial bound row and unboundedness detection earn their
-// keep. Roughly a third of the draws are unbounded (a negative-cost
-// column no row touches).
+// the dual's working bounds and unboundedness detection earn their keep.
+// Roughly a third of the draws are unbounded (a negative-cost column no
+// row touches).
 TEST(LpPropertyTest, MixedSignCostsAgreeIncludingUnbounded) {
   int unbounded_seen = 0;
   for (std::uint32_t seed = 0; seed < 120; ++seed) {
@@ -215,6 +215,141 @@ TEST(LpPropertyTest, NearUnimodularChainsAgreeBitForBitAndDualSkipsPhaseOne) {
     EXPECT_EQ(dual.stats.phase1_pivots, 0) << "seed " << seed;
     EXPECT_EQ(dual.stats.dual_fallbacks, 0) << "seed " << seed;
   }
+}
+
+// Family 6 (this PR): bounded-variable LPs with finite upper bounds ACTIVE
+// at the optimum — the bounded-variable ratio test's home turf. Every
+// negative-cost column gets a finite integer bound (so instances are
+// bounded by construction, never via working bounds), coefficients are
+// +-1 integers and bounds/rhs integers, so the agreement bar is EQUALITY:
+// the dual solves the bounds natively while dense / sparse-primal solve
+// the row-augmented equivalent, and all four must land on the identical
+// objective.
+TEST(LpPropertyTest, BoundedVariableInstancesAgreeWithBoundsActiveAtOptimum) {
+  int feasible_seen = 0;
+  int bound_active_seen = 0;
+  for (std::uint32_t seed = 0; seed < 120; ++seed) {
+    auto rng = rng_for(seed ^ 0xB07DEDu);
+    std::uniform_int_distribution<int> dim(2, 16);
+    std::uniform_int_distribution<int> cost(-3, 5);
+    std::uniform_int_distribution<int> bound(2, 8);
+    std::uniform_int_distribution<int> weight(1, 6);
+    std::uniform_int_distribution<int> pick(0, 2);
+    LpProblem p;
+    const int n = dim(rng);
+    p.num_vars = n;
+    for (int j = 0; j < n; ++j) {
+      const int c = cost(rng);
+      p.objective.push_back(static_cast<double>(c));
+      // A negative cost must rest on a USER bound for the instance to stay
+      // bounded; nonnegative columns draw a finite bound some of the time
+      // so the at-upper machinery sees both kinds.
+      p.upper.push_back(c < 0 || pick(rng) == 0 ? static_cast<double>(bound(rng) + 2)
+                                                : kLpUnbounded);
+    }
+    p.constraints.push_back({{{0, -1.0}}, -static_cast<double>(weight(rng))});  // x0 >= w
+    for (int v = 1; v < n; ++v) {
+      // Difference rows against the box: x_v >= x_{v-1} + w collides with
+      // x_v <= u_v often enough that a healthy slice of draws is
+      // infeasible — which every engine must agree on too.
+      if (pick(rng) != 0) {
+        p.constraints.push_back(
+            {{{v - 1, 1.0}, {v, -1.0}}, -static_cast<double>(weight(rng) - 3)});
+      }
+    }
+    const LpSolution dense = expect_engines_agree(p, seed, "bounded-variable");
+    if (!dense.feasible || !dense.bounded) continue;
+    ++feasible_seen;
+    // All-integer +-1 data: the native-bounds dual and the row-augmented
+    // dense baseline must agree EXACTLY, not just within tolerance.
+    const LpSolution dual = solve_lp(p, LpMethod::kSparseDual);
+    EXPECT_EQ(dual.objective, dense.objective) << "seed " << seed;
+    for (int j = 0; j < n; ++j) {
+      if (p.upper[static_cast<std::size_t>(j)] != kLpUnbounded &&
+          dense.x[static_cast<std::size_t>(j)] >= p.upper[static_cast<std::size_t>(j)] - 1e-9) {
+        ++bound_active_seen;
+        break;
+      }
+    }
+  }
+  // The family must actually exercise its claim: plenty of feasible draws,
+  // and on most of them some finite bound carries the optimum.
+  EXPECT_GT(feasible_seen, 30);
+  EXPECT_GT(bound_active_seen, 20);
+}
+
+// Family 7 (this PR): warm-start chains — solve, perturb one bound, re-solve
+// with the carried basis vs cold, and the two must be indistinguishable in
+// outcome: identical objective (exact, integer data), a solution feasible
+// against every row, and the cross-engine agreement holds on the perturbed
+// instance too. The chains are the near-unimodular class the leaf schedule
+// re-solves each round; perturbing an rhs keeps the carried basis
+// dual-feasible (duals depend only on the costs), so the ensemble must
+// also show the handle being ACCEPTED, not just attempted.
+TEST(LpPropertyTest, WarmStartChainsMatchColdAcrossEngines) {
+  int accepted = 0;
+  long warm_pivots = 0;
+  long cold_pivots = 0;
+  const LpOptions dual_opts{LpMethod::kSparseDual, LpPricing::kDantzig};
+  for (std::uint32_t seed = 0; seed < 80; ++seed) {
+    auto rng = rng_for(seed ^ 0x3A37ED5u);
+    std::uniform_int_distribution<int> dim(3, 20);
+    std::uniform_int_distribution<int> weight(1, 9);
+    std::uniform_int_distribution<int> pick(0, 3);
+    LpProblem p;
+    const int n = dim(rng);
+    p.num_vars = n;
+    for (int j = 0; j < n; ++j) {
+      p.objective.push_back(pick(rng) == 0 ? 0.0 : static_cast<double>(weight(rng)));
+    }
+    p.constraints.push_back({{{0, -1.0}}, -static_cast<double>(weight(rng))});
+    for (int v = 1; v < n; ++v) {
+      p.constraints.push_back(
+          {{{v - 1, 1.0}, {v, -1.0}}, -static_cast<double>(weight(rng))});
+    }
+    p.constraints.push_back({{{n - 1, 1.0}}, 400.0});  // ceiling: feasible, bounded
+
+    LpWarmStart warm;
+    const LpSolution first = solve_lp(p, dual_opts, &warm);
+    ASSERT_TRUE(first.feasible && first.bounded) << "seed " << seed;
+    ASSERT_TRUE(warm.valid()) << "seed " << seed;
+
+    // Perturb one chain bound (an rhs): the next round's problem, one
+    // bound change away, exactly the leaf schedule's shape.
+    LpProblem p2 = p;
+    const std::size_t row = static_cast<std::size_t>(seed) % (p2.constraints.size() - 1);
+    p2.constraints[row].rhs -= 1.0;  // tighten: x_row's gap grows by 1
+
+    const LpSolution warm_run = solve_lp(p2, dual_opts, &warm);
+    const LpSolution cold_run = solve_lp(p2, dual_opts);
+    const LpSolution dense = expect_engines_agree(p2, seed, "warm-chain");
+    ASSERT_TRUE(dense.feasible && dense.bounded) << "seed " << seed;
+    ASSERT_TRUE(warm_run.feasible && cold_run.feasible) << "seed " << seed;
+    EXPECT_EQ(warm_run.objective, cold_run.objective) << "seed " << seed;
+    EXPECT_EQ(warm_run.objective, dense.objective) << "seed " << seed;
+    EXPECT_EQ(warm_run.stats.warm_attempted, 1) << "seed " << seed;
+    accepted += warm_run.stats.warm_accepted;
+    warm_pivots += warm_run.stats.iterations;
+    cold_pivots += cold_run.stats.iterations;
+
+    // Basis feasibility of the warm-started answer, checked directly
+    // against every row and bound of the perturbed problem.
+    for (std::size_t i = 0; i < p2.constraints.size(); ++i) {
+      double lhs = 0.0;
+      for (const auto& [var, coeff] : p2.constraints[i].terms) {
+        lhs += coeff * warm_run.x[static_cast<std::size_t>(var)];
+      }
+      EXPECT_LE(lhs, p2.constraints[i].rhs + 1e-7) << "seed " << seed << " row " << i;
+    }
+    for (int j = 0; j < n; ++j) {
+      EXPECT_GE(warm_run.x[static_cast<std::size_t>(j)], -1e-7) << "seed " << seed;
+    }
+  }
+  // The carried bases must be genuinely adopted across the ensemble, and
+  // adopting them must pay: a warm re-solve starts primal-near-feasible,
+  // so the total pivot spend sits well below the cold baseline's.
+  EXPECT_GT(accepted, 60);
+  EXPECT_LT(warm_pivots * 2, cold_pivots);
 }
 
 }  // namespace

@@ -146,10 +146,10 @@ TEST(SparseSimplex, DualMatchesDenseObjectiveOnSeededLeafLibraries) {
 }
 
 TEST(SparseSimplex, DualFallsBackToPrimalOnItsOwnTerritory) {
-  // min -x with x unconstrained above: the artificial bound row caps the
-  // ray, the extended optimum rides the bound, and the engine must hand
-  // the problem to the primal path — which proves it unbounded — while
-  // recording the fallback.
+  // min -x with x unconstrained above: the negative-cost column gets a
+  // WORKING upper bound (no Lemke bound row exists anymore), the extended
+  // optimum rides that bound, and the engine must hand the problem to the
+  // primal path — which proves it unbounded — while recording the fallback.
   LpProblem p;
   p.num_vars = 1;
   p.objective = {-1.0};
@@ -157,7 +157,94 @@ TEST(SparseSimplex, DualFallsBackToPrimalOnItsOwnTerritory) {
   ASSERT_TRUE(s.feasible);
   EXPECT_FALSE(s.bounded);
   EXPECT_EQ(s.stats.dual_fallbacks, 1);
-  EXPECT_GT(s.stats.dual_pivots, 0);  // the bound-row initialization pivot
+  // The primary counters describe the authoritative primal solve alone:
+  // no dual pivots may leak into them after the decline.
+  EXPECT_EQ(s.stats.dual_pivots, 0);
+}
+
+TEST(SparseSimplex, DeclinedDualWorkIsReportedUnderDistinctCounters) {
+  // Regression (this PR): the DECLINE->primal fallback used to fold the
+  // abandoned dual attempt's counters into the primal totals, so
+  // `iterations` and `refactorizations` described neither solve. Build a
+  // problem where the dual genuinely iterates before discovering its
+  // optimum rides a working bound: min -x0 + x1 with x0 boxed by rows and
+  // a forcing row that needs dual repair first, plus an uncovered
+  // negative-cost column x2 whose working bound carries the optimum.
+  LpProblem p;
+  p.num_vars = 3;
+  p.objective = {-1.0, 1.0, -1.0};
+  p.constraints = {
+      {{{0, 1.0}}, 5.0},               // x0 <= 5
+      {{{0, -1.0}, {1, 1.0}}, -2.0},   // x0 - x1 >= 2: forces dual pivots
+  };
+  const LpSolution s = solve_lp(p, LpMethod::kSparseDual);
+  ASSERT_TRUE(s.feasible);
+  EXPECT_FALSE(s.bounded);  // x2 is a free ray
+  ASSERT_EQ(s.stats.dual_fallbacks, 1);
+  // The abandoned attempt did real work, and that work is visible — but
+  // under the declined_* counters, not the primal's.
+  EXPECT_GT(s.stats.declined_dual_pivots, 0);
+  EXPECT_GE(s.stats.declined_wall_ms, 0.0);
+  EXPECT_EQ(s.stats.dual_pivots, 0);
+  // The split, asserted exactly: the fallback's primary counters must be
+  // INDISTINGUISHABLE from a pure primal solve of the same problem —
+  // nothing of the dual attempt folded in.
+  const LpSolution primal = solve_lp(p, LpMethod::kSparseRevised);
+  EXPECT_EQ(s.stats.iterations, primal.stats.iterations);
+  EXPECT_EQ(s.stats.refactorizations, primal.stats.refactorizations);
+  EXPECT_EQ(s.stats.phase1_pivots, primal.stats.phase1_pivots);
+}
+
+TEST(SparseSimplex, DualDeclinesNearSingularPivotInsteadOfTakingIt) {
+  // Regression (this PR): the single-pass ratio test accepted any pivot
+  // with |alpha| > kEps = 1e-9. On this instance the Harris window admits
+  // only the alpha = -1e-8 candidate (the well-scaled column's ratio lies
+  // far outside the relaxed bound), so the old test pivoted on 1e-8 and
+  // seeded the factorization with a near-singular update. The two-pass
+  // test's pivot-magnitude floor (kStablePivotTol = 1e-7) must DECLINE the
+  // solve instead; the primal fallback then reaches the exact optimum
+  // x0 = 1e8, objective 0.01, which pins the verdict against the dense
+  // baseline.
+  LpProblem p;
+  p.num_vars = 2;
+  p.objective = {1e-10, 20.0};
+  p.constraints = {
+      {{{0, -1e-8}, {1, -1.0}}, -1.0},  // 1e-8 x0 + x1 >= 1
+  };
+  const LpSolution dense = solve_lp(p, LpMethod::kDenseTableau);
+  ASSERT_TRUE(dense.feasible && dense.bounded);
+  const LpSolution dual = solve_lp(p, LpMethod::kSparseDual);
+  ASSERT_TRUE(dual.feasible && dual.bounded);
+  EXPECT_EQ(dual.stats.dual_fallbacks, 1);  // declined, not pivoted
+  EXPECT_EQ(dual.stats.declined_dual_pivots, 0);
+  EXPECT_NEAR(dual.objective, dense.objective, 1e-9 * (1.0 + std::abs(dense.objective)));
+  EXPECT_NEAR(dual.objective, 0.01, 1e-9);
+}
+
+TEST(SparseSimplex, DualHandlesMixedSignObjectivesNatively) {
+  // The bounded-variable ratio test's core claim: a mixed-sign objective
+  // whose negative-cost columns are all covered by finite user bounds
+  // solves start to finish in the dual — no fallback, no phase-1 pivots —
+  // and bit-agrees with the dense baseline on this all-integer instance.
+  LpProblem p;
+  p.num_vars = 3;
+  p.objective = {-2.0, 0.5, -1.0};
+  p.upper = {4.0, kLpUnbounded, 3.0};
+  p.constraints = {
+      {{{0, 1.0}, {1, -1.0}}, 2.0},   // x0 - x1 <= 2
+      {{{0, 1.0}, {2, 1.0}}, 6.0},    // x0 + x2 <= 6
+  };
+  const LpSolution dense = solve_lp(p, LpMethod::kDenseTableau);
+  ASSERT_TRUE(dense.feasible && dense.bounded);
+  const LpSolution dual = solve_lp(p, LpMethod::kSparseDual);
+  ASSERT_TRUE(dual.feasible && dual.bounded);
+  EXPECT_EQ(dual.objective, dense.objective);
+  EXPECT_EQ(dual.stats.dual_fallbacks, 0);
+  EXPECT_EQ(dual.stats.phase1_pivots, 0);
+  // x0 rides its finite bound at the optimum (cost -2 dominates): the
+  // at-upper resting state, not a row, carries the bound.
+  EXPECT_NEAR(dual.x[0], 4.0, 1e-9);
+  EXPECT_NEAR(dual.x[2], 2.0, 1e-9);
 }
 
 TEST(SparseSimplex, StatsResetBetweenSolvesOnReusedSolution) {
